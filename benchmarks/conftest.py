@@ -1,0 +1,29 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round — these are simulations measured in *virtual* time; wall time is
+reported for book-keeping only), prints the paper-style table/series,
+and asserts the paper's qualitative shape.
+
+Select the workload scale with ``REPRO_BENCH_SCALE=small|full|tiny``
+(default ``small``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The benchmark workload scale."""
+    return SCALE
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn(*args)`` once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Why hash-partition at all?  HPA vs the NPA baseline under memory limits.
+
+§2.2 of the paper: "HPA effectively utilizes the whole memory space of
+all the processors, hence it works well for large scale data mining."
+NPA — every node holds the *entire* candidate table and counts locally,
+with no itemset communication — is the natural alternative.  This
+example puts both under the same per-node memory-usage limit and shows
+NPA's duplicated candidates overflowing into remote memory long before
+HPA's 1/n share does.
+
+Run:  python examples/hpa_vs_npa.py
+"""
+
+from repro import HPAConfig, apriori, generate, run_hpa
+from repro.mining.npa import NPAConfig, run_npa
+
+WORKLOAD = "T10.I4.D1K"
+N_ITEMS = 250
+MINSUP = 0.01
+N_APP = 4
+N_MEM = 8
+
+
+def main() -> None:
+    db = generate(WORKLOAD, n_items=N_ITEMS, seed=42)
+    ref = apriori(db, minsup=MINSUP, max_k=2)
+    c2 = ref.passes[1].n_candidates
+    print(f"{WORKLOAD}: {c2} candidate 2-itemsets")
+    print(f"  HPA per node : ~{c2 // N_APP * 24 // 1024} KB (1/{N_APP} of the set)")
+    print(f"  NPA per node : ~{c2 * 24 // 1024} KB (the whole set)\n")
+
+    # A limit sized so HPA fits comfortably and NPA does not.
+    limit = int((c2 / N_APP) * 24 * 1.6)
+    common = dict(
+        minsup=MINSUP, n_app_nodes=N_APP, total_lines=4096, max_k=2, seed=42,
+        pager="remote-update", n_memory_nodes=N_MEM, memory_limit_bytes=limit,
+    )
+
+    hpa = run_hpa(db, HPAConfig(**common))
+    npa = run_npa(db, NPAConfig(**common))
+    assert hpa.large_itemsets == npa.large_itemsets  # always the same answer
+
+    print(f"per-node memory-usage limit: {limit // 1024} KB\n")
+    header = f"{'':14s}{'pass 2 [s]':>12s}{'swap-outs':>11s}{'count msgs':>12s}"
+    print(header)
+    for name, res in (("HPA", hpa), ("NPA", npa)):
+        p2 = res.pass_result(2)
+        print(
+            f"{name:14s}{p2.duration_s:12.3f}"
+            f"{max(p2.swap_outs_per_node, default=0):11d}"
+            f"{p2.count_messages:12d}"
+        )
+
+    p2h, p2n = hpa.pass_result(2), npa.pass_result(2)
+    print(
+        f"\nNPA spends {p2n.duration_s / p2h.duration_s:.1f}x HPA's time here: "
+        f"its duplicated table overflows the limit "
+        f"({max(p2n.swap_outs_per_node)} lines pushed to remote memory) while "
+        f"HPA's partitioned share "
+        f"{'never overflows' if max(p2h.swap_outs_per_node) == 0 else 'barely overflows'}."
+    )
+    print(
+        "NPA's consolation prize — zero itemset messages during counting — "
+        "cannot pay for the paging."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Dynamic memory migration in action (the paper's §5.4 / Figure 5).
+
+While a remote-update HPA run is counting, two memory-available nodes
+suddenly "lose" their free memory (new local processes claim it).  The
+monitors broadcast the shortage, the application nodes send migration
+directions, and the swapped-out hash lines move to the remaining
+holders — with negligible effect on execution time and none on results.
+
+Run:  python examples/migration_demo.py
+"""
+
+from repro import HPAConfig, apriori, generate
+from repro.mining.hpa import HPARun
+
+WORKLOAD = "T10.I4.D1K"
+N_ITEMS = 250
+MINSUP = 0.01
+N_APP = 4
+N_MEM = 6
+
+
+def build_run(limit: int, shortages) -> HPARun:
+    db = generate(WORKLOAD, n_items=N_ITEMS, seed=42)
+    cfg = HPAConfig(
+        minsup=MINSUP, n_app_nodes=N_APP, total_lines=4096, max_k=2,
+        pager="remote-update", n_memory_nodes=N_MEM, memory_limit_bytes=limit,
+    )
+    run = HPARun(db, cfg)
+    for t, idx in shortages:
+        run.shortage_schedule.append((t, run.mem_ids[idx]))
+    return run
+
+
+def main() -> None:
+    db = generate(WORKLOAD, n_items=N_ITEMS, seed=42)
+    ref = apriori(db, minsup=MINSUP, max_k=2)
+    limit = int((ref.passes[1].n_candidates / N_APP) * 24 * 1.1 * 0.8)
+
+    # Baseline: all memory nodes stay available.
+    base = build_run(limit, [])
+    base_res = base.run()
+    p2 = base_res.pass_result(2)
+    print(f"baseline      : pass 2 = {p2.duration_s:6.3f}s virtual, "
+          f"{sum(base.pagers[a].stats.swap_outs for a in base.app_ids)} lines parked remotely")
+
+    # Two shortages land mid-counting.
+    t1 = p2.start_time + 0.4 * p2.duration_s
+    t2 = p2.start_time + 0.6 * p2.duration_s
+    run = build_run(limit, [(t1, 0), (t2, 1)])
+    res = run.run()
+    q2 = res.pass_result(2)
+
+    migrations = sum(run.pagers[a].stats.migrations for a in run.app_ids)
+    moved = sum(run.pagers[a].stats.lines_migrated for a in run.app_ids)
+    print(f"2 shortages   : pass 2 = {q2.duration_s:6.3f}s virtual, "
+          f"{migrations} migrations moved {moved} hash lines")
+    overhead = (q2.duration_s / p2.duration_s - 1) * 100
+    print(f"overhead      : {overhead:+.1f}% "
+          f"(paper: 'almost negligible')")
+
+    # The victims really are empty, and results are untouched.
+    for idx in (0, 1):
+        m = run.mem_ids[idx]
+        assert run.stores[m].n_lines == 0, f"node {m} still holds lines"
+    assert res.large_itemsets == base_res.large_itemsets
+    print("victim nodes hold zero guest lines; mined itemsets identical.")
+
+
+if __name__ == "__main__":
+    main()

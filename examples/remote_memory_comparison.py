@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's headline experiment, end to end: mine under a memory-usage
+limit with the three swapping mechanisms and compare (Figure 4's story).
+
+A memory limit equal to ~78% of the busiest node's candidate footprint
+(the paper's "12 MB" point) forces hash lines out of memory during
+pass 2.  Where they go decides everything:
+
+- local SCSI disk       -> ~13 ms per pagefault
+- remote node's memory  -> ~2.3 ms per pagefault (simple swapping)
+- remote + update ops   -> no pagefaults at all (the paper's winner)
+
+Run:  python examples/remote_memory_comparison.py
+"""
+
+from repro import HPAConfig, apriori, generate, run_hpa
+
+WORKLOAD = "T10.I4.D1K"
+N_ITEMS = 250
+MINSUP = 0.01
+N_APP = 4
+N_MEM = 8
+LINES = 4096
+
+
+def main() -> None:
+    db = generate(WORKLOAD, n_items=N_ITEMS, seed=42)
+    ref = apriori(db, minsup=MINSUP, max_k=2)
+    c2 = ref.passes[1].n_candidates
+    # ~78% of the busiest node's footprint = the paper's 12 MB point.
+    limit = int((c2 / N_APP) * 24 * 1.1 * 0.78)
+    print(f"{WORKLOAD}: {c2} candidate 2-itemsets; per-node limit {limit // 1024} KB\n")
+
+    def run(pager: str, n_mem: int, lim):
+        cfg = HPAConfig(
+            minsup=MINSUP, n_app_nodes=N_APP, total_lines=LINES, max_k=2,
+            pager=pager, n_memory_nodes=n_mem, memory_limit_bytes=lim,
+        )
+        return run_hpa(db, cfg)
+
+    baseline = run("none", 0, None)
+    print(f"{'no memory limit':24s} pass2 = {baseline.pass_result(2).duration_s:8.2f} s "
+          f"(virtual)")
+
+    rows = [
+        ("swap to local disk", "disk", 0),
+        ("simple remote swapping", "remote", N_MEM),
+        ("remote update ops", "remote-update", N_MEM),
+    ]
+    for label, pager, n_mem in rows:
+        res = run(pager, n_mem, limit)
+        p2 = res.pass_result(2)
+        assert res.large_itemsets == baseline.large_itemsets  # always exact
+        extra = ""
+        if p2.max_faults:
+            pf = (p2.duration_s - baseline.pass_result(2).duration_s) / p2.max_faults
+            extra = f" ({p2.max_faults} faults @ {pf * 1e3:.2f} ms)"
+        elif max(p2.update_msgs_per_node):
+            extra = f" ({max(p2.update_msgs_per_node)} update msgs, 0 faults)"
+        print(f"{label:24s} pass2 = {p2.duration_s:8.2f} s{extra}")
+
+    print("\nAll four configurations mined the *same* itemsets — the "
+          "mechanisms differ only in where overflowing hash lines live.")
+
+
+if __name__ == "__main__":
+    main()

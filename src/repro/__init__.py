@@ -1,0 +1,38 @@
+"""repro — reproduction of "Using Available Remote Memory Dynamically for
+Parallel Data Mining Application on ATM-Connected PC Cluster" (IPPS 2000).
+
+Public API tour:
+
+- :mod:`repro.datagen` — IBM Quest-style synthetic basket data
+  (``generate("T10.I4.D100K")``).
+- :mod:`repro.mining` — sequential Apriori (:func:`~repro.mining.apriori`),
+  rule derivation, and Hash-Partitioned Apriori on the simulated cluster
+  (:class:`~repro.mining.hpa.HPAConfig`, :func:`~repro.mining.hpa.run_hpa`).
+- :mod:`repro.core` — the paper's contribution: the swap manager with LRU
+  hash-line eviction, disk / remote-memory / remote-update pagers, the
+  availability monitors, and the migration mechanism.
+- :mod:`repro.cluster` — the simulated ATM-connected PC cluster.
+- :mod:`repro.sim` — the discrete-event kernel underneath it all.
+- :mod:`repro.harness` — the per-table/figure experiment runners
+  (also exposed as the ``repro-bench`` command).
+"""
+
+from repro._version import __version__
+from repro.datagen import QuestParams, TransactionDatabase, generate
+from repro.mining import AprioriResult, Rule, apriori, derive_rules
+from repro.mining.hpa import HPAConfig, HPAResult, HPARun, run_hpa
+
+__all__ = [
+    "__version__",
+    "generate",
+    "QuestParams",
+    "TransactionDatabase",
+    "apriori",
+    "AprioriResult",
+    "derive_rules",
+    "Rule",
+    "HPAConfig",
+    "HPAResult",
+    "HPARun",
+    "run_hpa",
+]

@@ -1,0 +1,120 @@
+"""Calibration report: simulated primitives vs the paper's measurements.
+
+The whole reproduction argument rests on the substrate hitting the
+paper's measured constants; this module runs the
+:mod:`repro.cluster.netperf` micro-benchmarks and compares each against
+the paper's published value with a tolerance, producing a pass/fail
+report (used by the test suite and printable with
+``python -m repro.analysis.calibration``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cost_model import PAPER_COSTS
+from repro.analysis.pagefault import predicted_fault_time_s
+from repro.analysis.reporting import render_table
+from repro.cluster.netperf import (
+    measure_disk_access_s,
+    measure_fan_in_factor,
+    measure_rtt_s,
+    measure_throughput_bps,
+)
+from repro.cluster.specs import ATM_155, BARRACUDA_7200, DK3E1T_12000
+
+__all__ = ["CalibrationCheck", "run_calibration", "calibration_report"]
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One simulated quantity against its paper reference."""
+
+    name: str
+    measured: float
+    reference: float
+    tolerance: float  # relative
+    unit: str
+
+    @property
+    def ok(self) -> bool:
+        """Whether the measurement lies within tolerance of the reference."""
+        return abs(self.measured - self.reference) <= self.tolerance * self.reference
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation from the reference."""
+        return (self.measured - self.reference) / self.reference
+
+
+def run_calibration() -> list[CalibrationCheck]:
+    """Execute every micro-benchmark and compare against the paper."""
+    checks = [
+        CalibrationCheck(
+            name="point-to-point RTT (64 B)",
+            measured=measure_rtt_s(),
+            reference=0.5e-3,  # §5.2: "approximately 0.5 msec"
+            tolerance=0.15,
+            unit="s",
+        ),
+        CalibrationCheck(
+            name="streaming throughput",
+            measured=measure_throughput_bps(),
+            reference=120e6,  # §5.2: "about 120 Mbps"
+            tolerance=0.10,
+            unit="bit/s",
+        ),
+        CalibrationCheck(
+            name="8-into-1 fan-in factor",
+            measured=measure_fan_in_factor(),
+            reference=8.0,  # perfect ingress serialisation
+            tolerance=0.05,
+            unit="x",
+        ),
+        CalibrationCheck(
+            name="Barracuda 7200rpm random 4KB read",
+            measured=measure_disk_access_s(BARRACUDA_7200),
+            reference=13.0e-3,  # §5.2: "at least 13.0 msec"
+            tolerance=0.08,
+            unit="s",
+        ),
+        CalibrationCheck(
+            name="DK3E1T 12000rpm random 4KB read",
+            measured=measure_disk_access_s(DK3E1T_12000),
+            reference=7.5e-3,  # §5.2: "7.5 msec even with the fastest"
+            tolerance=0.08,
+            unit="s",
+        ),
+        CalibrationCheck(
+            name="remote pagefault (analytic)",
+            measured=predicted_fault_time_s(PAPER_COSTS, ATM_155),
+            reference=2.33e-3,  # Table 4's 13MB row
+            tolerance=0.10,
+            unit="s",
+        ),
+    ]
+    return checks
+
+
+def calibration_report() -> str:
+    """Human-readable calibration table."""
+    checks = run_calibration()
+    rows = [
+        (
+            c.name,
+            f"{c.measured:.4g}",
+            f"{c.reference:.4g}",
+            f"{c.deviation:+.1%}",
+            "ok" if c.ok else "OUT OF BAND",
+        )
+        for c in checks
+    ]
+    return render_table(
+        ["quantity", "simulated", "paper", "deviation", "status"],
+        rows,
+        title="Calibration — simulated substrate vs paper measurements",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(calibration_report())

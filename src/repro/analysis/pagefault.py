@@ -1,0 +1,75 @@
+"""Pagefault-cost analysis (paper Table 4 and §5.2).
+
+The paper derives the execution time of one pagefault by subtracting the
+no-memory-limit execution time from a limited run's and dividing by the
+maximum pagefault count over all nodes ("The total execution time is
+decided by the busiest node that does the most swapping operations").
+It then decomposes that time into round-trip delay + data transmission +
+memory-node service.  This module performs both computations on
+simulated runs so benchmarks can print Table 4 verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cost_model import CostModel
+from repro.cluster.network import PROTOCOL_OVERHEAD_BYTES
+from repro.cluster.specs import NicSpec
+from repro.errors import ReproError
+
+__all__ = ["PagefaultRow", "pagefault_row", "predicted_fault_time_s"]
+
+
+@dataclass(frozen=True)
+class PagefaultRow:
+    """One row of Table 4."""
+
+    label: str
+    exec_time_s: float
+    diff_time_s: float
+    max_faults: int
+    per_fault_s: float
+
+    def formatted(self) -> str:
+        """The row rendered with the paper's column convention
+        (times in seconds, per-fault in milliseconds)."""
+        return (
+            f"{self.label:>10s}  {self.exec_time_s:9.1f}  {self.diff_time_s:9.1f}  "
+            f"{self.max_faults:9d}  {self.per_fault_s * 1e3:6.2f}"
+        )
+
+
+def pagefault_row(
+    label: str,
+    exec_time_s: float,
+    baseline_time_s: float,
+    max_faults: int,
+) -> PagefaultRow:
+    """Build a Table 4 row from a limited run and the no-limit baseline."""
+    if max_faults <= 0:
+        raise ReproError("pagefault analysis requires at least one fault")
+    if exec_time_s < baseline_time_s:
+        raise ReproError(
+            f"limited run ({exec_time_s}) faster than baseline ({baseline_time_s})"
+        )
+    diff = exec_time_s - baseline_time_s
+    return PagefaultRow(
+        label=label,
+        exec_time_s=exec_time_s,
+        diff_time_s=diff,
+        max_faults=max_faults,
+        per_fault_s=diff / max_faults,
+    )
+
+
+def predicted_fault_time_s(cost: CostModel, nic: NicSpec) -> float:
+    """The paper's analytic decomposition of one remote-memory fault:
+    round trip + one 4 KB block transmission + holder service time.
+
+    On an uncontended holder the simulation should land close to this.
+    """
+    rtt = 2 * nic.one_way_latency_s
+    request_tx = nic.transmit_time_s(cost.fault_request_bytes + PROTOCOL_OVERHEAD_BYTES)
+    data_tx = nic.transmit_time_s(cost.line_message_bytes() + PROTOCOL_OVERHEAD_BYTES)
+    return rtt + request_tx + data_tx + cost.remote_fault_service_s

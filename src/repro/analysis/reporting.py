@@ -1,0 +1,77 @@
+"""Plain-text rendering of paper-style tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting in one place and are deliberately
+dependency-free (no plotting — series are printed as aligned columns a
+reader can diff against the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: Mapping[str, Mapping[object, float]],
+    title: str = "",
+) -> str:
+    """Render several named y(x) series as one table (a textual 'figure').
+
+    ``series`` maps series name -> {x value -> y value}; x values are
+    unioned and sorted.
+    """
+    xs = sorted({x for ys in series.values() for x in ys})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for name in series:
+            y = series[name].get(x)
+            row.append("-" if y is None else y)
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_kv(pairs: Mapping[str, object], title: str = "") -> str:
+    """Render key/value pairs, one per line."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,176 @@
+"""Event tracing for simulation runs.
+
+The paper's companion work analyses "several characteristics such as CPU
+usage and network performance of the cluster during the execution of
+HPA".  :class:`TraceCollector` records discrete happenings — pagefaults,
+swap-outs, migrations, phase boundaries — as timestamped events, and
+:class:`UtilizationSampler` runs as a simulated process that periodically
+snapshots resource usage, yielding time series suitable for the kind of
+utilisation plots that companion paper shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.errors import Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster import Cluster
+    from repro.sim.engine import Environment
+    from repro.sim.process import Process
+
+__all__ = ["TraceEvent", "TraceCollector", "UtilizationSample", "UtilizationSampler"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped happening on one node."""
+
+    time: float
+    node_id: int
+    kind: str
+    detail: str = ""
+
+
+class TraceCollector:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.events: list[TraceEvent] = []
+
+    def record(self, node_id: int, kind: str, detail: str = "") -> None:
+        """Log one event at the current simulation time."""
+        self.events.append(TraceEvent(self.env.now, node_id, kind, detail))
+
+    def record_hook(self) -> Callable[[str, int, str], None]:
+        """Adapter matching the pagers' ``on_event(kind, node_id, detail)``
+        signature."""
+        def hook(kind: str, node_id: int, detail: str) -> None:
+            self.record(node_id, kind, detail)
+
+        return hook
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def on_node(self, node_id: int) -> list[TraceEvent]:
+        """All events on one node, in time order."""
+        return [e for e in self.events if e.node_id == node_id]
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        """Events with ``start <= time < end``."""
+        return [e for e in self.events if start <= e.time < end]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Histogram of event kinds."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def rate_series(self, kind: str, bucket_s: float) -> list[tuple[float, int]]:
+        """(bucket start, event count) series for one kind.
+
+        Buckets are aligned at multiples of ``bucket_s`` from time 0 and
+        empty buckets inside the observed span are included, so the
+        series plots directly.
+        """
+        if bucket_s <= 0:
+            raise ValueError(f"bucket size must be positive, got {bucket_s}")
+        selected = self.of_kind(kind)
+        if not selected:
+            return []
+        first = int(selected[0].time // bucket_s)
+        last = int(selected[-1].time // bucket_s)
+        counts = {b: 0 for b in range(first, last + 1)}
+        for e in selected:
+            counts[int(e.time // bucket_s)] += 1
+        return [(b * bucket_s, counts[b]) for b in sorted(counts)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One periodic snapshot of cluster-wide resource usage."""
+
+    time: float
+    cpu_busy_s: tuple[float, ...]  # cumulative per node
+    memory_used: tuple[int, ...]  # bytes per node
+    network_messages: int  # cumulative
+    network_payload_bytes: int  # cumulative
+
+    def cpu_utilisation_since(self, prev: "UtilizationSample") -> list[float]:
+        """Per-node CPU busy fraction over the interval since ``prev``."""
+        dt = self.time - prev.time
+        if dt <= 0:
+            return [0.0] * len(self.cpu_busy_s)
+        return [
+            min(1.0, (now - before) / dt)
+            for now, before in zip(self.cpu_busy_s, prev.cpu_busy_s)
+        ]
+
+
+class UtilizationSampler:
+    """Simulated process sampling the cluster every ``interval_s``."""
+
+    def __init__(self, cluster: "Cluster", interval_s: float = 0.1) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        self.cluster = cluster
+        self.interval_s = interval_s
+        self.samples: list[UtilizationSample] = []
+        self._proc: Optional["Process"] = None
+
+    def start(self) -> "Process":
+        """Begin sampling; returns the sampler process."""
+        self._proc = self.cluster.env.process(self._run())
+        return self._proc
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    def snapshot(self) -> UtilizationSample:
+        """Take one sample immediately (also used by the loop)."""
+        sample = UtilizationSample(
+            time=self.cluster.env.now,
+            cpu_busy_s=tuple(n.stats.cpu_busy_s for n in self.cluster),
+            memory_used=tuple(n.memory.used_bytes for n in self.cluster),
+            network_messages=self.cluster.network.stats.messages,
+            network_payload_bytes=self.cluster.network.stats.payload_bytes,
+        )
+        self.samples.append(sample)
+        return sample
+
+    def _run(self) -> Generator:
+        env = self.cluster.env
+        while True:
+            self.snapshot()
+            try:
+                yield env.timeout(self.interval_s)
+            except Interrupt:
+                return
+
+    def cpu_series(self, node_id: int) -> list[tuple[float, float]]:
+        """(time, busy fraction) series for one node."""
+        out = []
+        for prev, now in zip(self.samples, self.samples[1:]):
+            out.append((now.time, now.cpu_utilisation_since(prev)[node_id]))
+        return out
+
+    def throughput_series(self) -> list[tuple[float, float]]:
+        """(time, payload bytes/s) series for the whole network."""
+        out = []
+        for prev, now in zip(self.samples, self.samples[1:]):
+            dt = now.time - prev.time
+            if dt > 0:
+                rate = (now.network_payload_bytes - prev.network_payload_bytes) / dt
+                out.append((now.time, rate))
+        return out

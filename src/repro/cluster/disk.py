@@ -1,0 +1,77 @@
+"""Queued disk model.
+
+One :class:`Disk` serves requests strictly one at a time (single arm).
+Random requests pay average seek + rotational latency + transfer; callers
+flag sequential streams to skip positioning costs, matching how the paper
+costs disk behaviour in §5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import DiskError
+from repro.cluster.specs import DiskSpec
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+__all__ = ["Disk", "DiskStats"]
+
+
+@dataclass
+class DiskStats:
+    """Counters accumulated over a disk's lifetime."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time_s: float = 0.0
+
+    def total_ios(self) -> int:
+        """Total number of completed requests."""
+        return self.reads + self.writes
+
+
+class Disk:
+    """A single simulated disk with an exclusive request queue."""
+
+    def __init__(self, env: "Environment", spec: DiskSpec) -> None:
+        self.env = env
+        self.spec = spec
+        self._arm = Resource(env, capacity=1)
+        self.stats = DiskStats()
+
+    def read(self, size_bytes: int, sequential: bool = False) -> Generator:
+        """Process generator performing one read request."""
+        return self._io(size_bytes, write=False, sequential=sequential)
+
+    def write(self, size_bytes: int, sequential: bool = False) -> Generator:
+        """Process generator performing one write request."""
+        return self._io(size_bytes, write=True, sequential=sequential)
+
+    def _io(self, size_bytes: int, write: bool, sequential: bool) -> Generator:
+        if size_bytes <= 0:
+            raise DiskError(f"I/O size must be positive, got {size_bytes}")
+        service = self.spec.access_time_s(size_bytes, sequential=sequential)
+        with self._arm.request() as grant:
+            yield grant
+            yield self.env.timeout(service)
+        self.stats.busy_time_s += service
+        if write:
+            self.stats.writes += 1
+            self.stats.bytes_written += size_bytes
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += size_bytes
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting behind the arm."""
+        return len(self._arm.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Disk {self.spec.name!r} ios={self.stats.total_ios()}>"

@@ -1,0 +1,100 @@
+"""Message transport: named channels between nodes.
+
+Models the paper's TLI mesh — every process pair is connected by an
+ordered, reliable byte stream.  Here each (node, channel-name) pair owns
+a mailbox :class:`~repro.sim.store.Store`; ``send`` moves a message
+across the :class:`~repro.cluster.network.Network` and deposits it in
+the destination mailbox, preserving per-sender ordering because each
+sender's egress NIC serialises its transmissions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import NetworkError
+from repro.cluster.network import Message, Network
+from repro.sim.process import Process
+from repro.sim.store import Store
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+__all__ = ["Transport"]
+
+
+class Transport:
+    """Channel-addressed messaging on top of :class:`Network`."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.env = network.env
+        self._mailboxes: dict[tuple[int, str], Store] = {}
+
+    def mailbox(self, node_id: int, channel: str) -> Store:
+        """The mailbox for ``channel`` on ``node_id`` (created on demand)."""
+        key = (node_id, channel)
+        if key not in self._mailboxes:
+            if node_id not in self.network.node_ids:
+                raise NetworkError(f"unknown node {node_id}")
+            self._mailboxes[key] = Store(self.env)
+        return self._mailboxes[key]
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        channel: str,
+        payload: object,
+        size_bytes: int,
+    ) -> Generator:
+        """Process generator: transfer and deliver one message.
+
+        Completes once the message sits in the destination mailbox. Yield
+        it from a process for synchronous sends, or wrap it with
+        :meth:`post` for fire-and-forget.
+        """
+        msg = Message(src=src, dst=dst, channel=channel, payload=payload, size_bytes=size_bytes)
+        yield from self.network.transfer(msg)
+        yield self.mailbox(dst, channel).put(msg)
+        return msg
+
+    def post(
+        self,
+        src: int,
+        dst: int,
+        channel: str,
+        payload: object,
+        size_bytes: int,
+    ) -> Process:
+        """Fire-and-forget send: runs as its own process.
+
+        The sender still competes for its egress NIC, so back-to-back
+        posts from one node serialise realistically.
+        """
+        return self.env.process(self.send(src, dst, channel, payload, size_bytes))
+
+    def recv(self, node_id: int, channel: str):
+        """Event yielding the next :class:`Message` on the channel."""
+        return self.mailbox(node_id, channel).get()
+
+    def local_deliver(self, node_id: int, channel: str, payload: object) -> None:
+        """Deposit a message into a local mailbox without touching the network.
+
+        Used when a node addresses itself (the hash function frequently
+        maps itemsets back to their producer, which costs no network time).
+        """
+        msg = Message(
+            src=node_id,
+            dst=node_id,
+            channel=channel,
+            payload=payload,
+            size_bytes=0,
+            send_time=self.env.now,
+            deliver_time=self.env.now,
+        )
+        self.mailbox(node_id, channel).put(msg)
+
+    def pending(self, node_id: int, channel: str) -> int:
+        """Number of undelivered messages waiting in the mailbox."""
+        return len(self.mailbox(node_id, channel))

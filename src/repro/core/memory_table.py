@@ -1,0 +1,101 @@
+"""The memory management table.
+
+The paper (§4.2): application execution nodes "check a memory management
+table which shows where each entry currently exists".  This module tracks
+for every hash line of one node where the line lives: resident in local
+memory, on the local swap disk, in a remote node's memory (swappable), or
+*fixed* in a remote node's memory (remote-update mode), or in flight
+during a migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import SwapError
+
+__all__ = ["LineState", "LineLocation", "MemoryManagementTable"]
+
+
+class LineState(Enum):
+    """Where a hash line currently lives."""
+
+    RESIDENT = "resident"
+    DISK = "disk"
+    REMOTE = "remote"  # simple swapping: can fault back in
+    REMOTE_FIXED = "remote-fixed"  # remote update: stays remote
+    MIGRATING = "migrating"  # being moved between memory-available nodes
+
+
+@dataclass(frozen=True)
+class LineLocation:
+    """State plus, for remote states, the holding node."""
+
+    state: LineState
+    node_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        remote = self.state in (LineState.REMOTE, LineState.REMOTE_FIXED)
+        if remote and self.node_id is None:
+            raise SwapError(f"{self.state.value} location requires a node id")
+        if self.state in (LineState.RESIDENT, LineState.DISK) and self.node_id is not None:
+            raise SwapError(f"{self.state.value} location must not name a node")
+
+
+class MemoryManagementTable:
+    """Line-id -> location map for one application execution node."""
+
+    def __init__(self) -> None:
+        self._loc: dict[int, LineLocation] = {}
+
+    def location(self, line_id: int) -> LineLocation:
+        """Where ``line_id`` lives; unknown lines are resident by default
+        (a line that was never swapped needs no table entry)."""
+        return self._loc.get(line_id, LineLocation(LineState.RESIDENT))
+
+    def state(self, line_id: int) -> LineState:
+        """Shorthand for ``location(line_id).state``."""
+        return self.location(line_id).state
+
+    def set_resident(self, line_id: int) -> None:
+        """Mark a line as back in local memory."""
+        self._loc.pop(line_id, None)
+
+    def set_disk(self, line_id: int) -> None:
+        """Mark a line as swapped to the local disk."""
+        self._loc[line_id] = LineLocation(LineState.DISK)
+
+    def set_remote(self, line_id: int, node_id: int, fixed: bool = False) -> None:
+        """Mark a line as held by memory-available node ``node_id``."""
+        state = LineState.REMOTE_FIXED if fixed else LineState.REMOTE
+        self._loc[line_id] = LineLocation(state, node_id)
+
+    def set_migrating(self, line_id: int) -> None:
+        """Mark a line as in flight between memory-available nodes."""
+        self._loc[line_id] = LineLocation(LineState.MIGRATING)
+
+    def lines_at(self, node_id: int) -> list[int]:
+        """All lines currently held (swappable or fixed) at ``node_id``."""
+        return [
+            lid
+            for lid, loc in self._loc.items()
+            if loc.node_id == node_id
+            and loc.state in (LineState.REMOTE, LineState.REMOTE_FIXED)
+        ]
+
+    def non_resident_lines(self) -> list[int]:
+        """Every line with an explicit non-resident entry."""
+        return list(self._loc)
+
+    def count_by_state(self) -> dict[LineState, int]:
+        """Histogram of explicit entries (resident lines are not entries)."""
+        out: dict[LineState, int] = {}
+        for loc in self._loc.values():
+            out[loc.state] = out.get(loc.state, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        """Forget everything (end of pass)."""
+        self._loc.clear()

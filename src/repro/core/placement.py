@@ -1,0 +1,94 @@
+"""Swap-destination selection among memory-available nodes.
+
+The paper's policy is implicit ("another node is chosen as a swapping
+destination"); we default to most-free-memory-first, which follows
+directly from the availability table the monitors maintain, and provide
+round-robin for comparison.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional
+
+from repro.core.monitor import MonitorClient
+from repro.errors import NoMemoryAvailable
+
+__all__ = ["PlacementPolicy", "MostAvailableFirst", "RoundRobinPlacement", "make_placement"]
+
+
+class PlacementPolicy(ABC):
+    """Chooses which memory-available node receives the next swap-out."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(
+        self,
+        client: MonitorClient,
+        needed_bytes: int,
+        exclude: Iterable[int] = (),
+    ) -> int:
+        """Pick a destination with at least ``needed_bytes`` reported free.
+
+        Raises :class:`NoMemoryAvailable` when no candidate qualifies.
+        """
+
+
+def _candidates(client: MonitorClient, needed_bytes: int, exclude: Iterable[int]) -> list[int]:
+    banned = set(exclude)
+    out = []
+    for node_id, info in client.table.items():
+        if node_id in banned or info.shortage:
+            continue
+        if info.available_bytes >= needed_bytes:
+            out.append(node_id)
+    return out
+
+
+class MostAvailableFirst(PlacementPolicy):
+    """Send the line to the node reporting the most free memory."""
+
+    name = "most-available"
+
+    def choose(
+        self, client: MonitorClient, needed_bytes: int, exclude: Iterable[int] = ()
+    ) -> int:
+        cands = _candidates(client, needed_bytes, exclude)
+        if not cands:
+            raise NoMemoryAvailable(
+                f"no memory-available node can hold {needed_bytes} B "
+                f"(known: {sorted(client.table)})"
+            )
+        return max(cands, key=lambda n: (client.table[n].available_bytes, -n))
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through qualifying nodes, spreading lines evenly."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(
+        self, client: MonitorClient, needed_bytes: int, exclude: Iterable[int] = ()
+    ) -> int:
+        cands = sorted(_candidates(client, needed_bytes, exclude))
+        if not cands:
+            raise NoMemoryAvailable(
+                f"no memory-available node can hold {needed_bytes} B "
+                f"(known: {sorted(client.table)})"
+            )
+        choice = cands[self._next % len(cands)]
+        self._next += 1
+        return choice
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """Factory: ``most-available`` (default) or ``round-robin``."""
+    if name == "most-available":
+        return MostAvailableFirst()
+    if name == "round-robin":
+        return RoundRobinPlacement()
+    raise ValueError(f"unknown placement policy {name!r}")

@@ -1,0 +1,128 @@
+"""Guest-memory store on a memory-available node.
+
+Holds hash lines swapped out by application execution nodes, keyed by
+(owner node, line id) so several application nodes can park lines on the
+same host ("Each memory available node may receive swapped out data from
+several application execution nodes", §4.3).  Every byte is accounted in
+the host node's :class:`~repro.cluster.memory.MemoryLedger`, so external
+memory pressure genuinely shrinks what guests may store.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import NoMemoryAvailable, SwapError
+from repro.mining.hash_table import HashLine
+from repro.mining.itemsets import ITEMSET_BYTES, Itemset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.node import Node
+
+__all__ = ["RemoteStore"]
+
+
+class RemoteStore:
+    """Swapped-line storage hosted by one memory-available node."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self._lines: dict[tuple[int, int], HashLine] = {}
+
+    # -- capacity ------------------------------------------------------------
+
+    def can_accept(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` of guest data fit, honouring external pressure."""
+        return self.node.memory.available_bytes >= nbytes
+
+    @property
+    def guest_bytes(self) -> int:
+        """Total bytes of guest lines currently stored."""
+        return sum(line.nbytes for line in self._lines.values())
+
+    @property
+    def n_lines(self) -> int:
+        """Number of guest lines stored."""
+        return len(self._lines)
+
+    def owners(self) -> set[int]:
+        """Application nodes with at least one line here."""
+        return {owner for owner, _ in self._lines}
+
+    def lines_of_owner(self, owner: int) -> list[int]:
+        """Line ids this store holds for ``owner``."""
+        return [lid for (o, lid) in self._lines if o == owner]
+
+    # -- swap traffic -----------------------------------------------------------
+
+    def put(self, owner: int, line: HashLine) -> None:
+        """Store a swapped-out line; raises :class:`NoMemoryAvailable` if
+        the host cannot spare the bytes (shortage situation of §4.2)."""
+        key = (owner, line.line_id)
+        if key in self._lines:
+            raise SwapError(f"line {line.line_id} of node {owner} already stored here")
+        if not self.can_accept(line.nbytes):
+            raise NoMemoryAvailable(
+                f"node {self.node.node_id} cannot store {line.nbytes} B "
+                f"(available {self.node.memory.available_bytes} B)"
+            )
+        self.node.memory.allocate(line.nbytes)
+        self._lines[key] = line
+
+    def take(self, owner: int, line_id: int) -> HashLine:
+        """Remove and return a stored line (pagefault service / migration)."""
+        key = (owner, line_id)
+        if key not in self._lines:
+            raise SwapError(f"node {self.node.node_id} holds no line {line_id} of {owner}")
+        line = self._lines.pop(key)
+        self.node.memory.free(line.nbytes)
+        return line
+
+    def peek(self, owner: int, line_id: int) -> HashLine:
+        """Read a stored line without removing it (count collection)."""
+        key = (owner, line_id)
+        if key not in self._lines:
+            raise SwapError(f"node {self.node.node_id} holds no line {line_id} of {owner}")
+        return self._lines[key]
+
+    def holds(self, owner: int, line_id: int) -> bool:
+        """Whether the line is stored here."""
+        return (owner, line_id) in self._lines
+
+    # -- remote update interface (paper §4.4) -------------------------------------
+
+    def apply_updates(self, owner: int, updates: Iterable[tuple[int, Itemset, int]]) -> None:
+        """Apply a batch of (line_id, itemset, delta) update records.
+
+        ``delta == 0`` means "insert this candidate with count 0" (used
+        when candidate generation continues after a line was fixed
+        remotely); positive deltas are increments from the counting
+        phase.  Inserts grow the host allocation.
+        """
+        for line_id, itemset, delta in updates:
+            key = (owner, line_id)
+            if key not in self._lines:
+                raise SwapError(
+                    f"update for line {line_id} of node {owner} not stored on "
+                    f"node {self.node.node_id}"
+                )
+            line = self._lines[key]
+            if itemset in line.counts:
+                line.counts[itemset] += delta
+            elif delta == 0:
+                # Growing an already-accepted line proceeds even under
+                # external pressure (the guest was admitted; only the hard
+                # physical capacity still guards the allocation) so that
+                # in-flight inserts racing a shortage signal do not fail.
+                self.node.memory.allocate(ITEMSET_BYTES)
+                line.counts[itemset] = 0
+            else:
+                raise SwapError(
+                    f"increment for unknown candidate {itemset} on line {line_id}"
+                )
+
+    def clear(self) -> None:
+        """Drop all guest lines, returning their bytes (end of pass)."""
+        for line in self._lines.values():
+            self.node.memory.free(line.nbytes)
+        self._lines.clear()

@@ -1,0 +1,294 @@
+"""The swap manager: per-node memory-usage limit over candidate itemsets.
+
+Paper §4.3: "a limit value for memory usage of candidate itemsets is set
+at each node.  When the amount of memory usage exceeds this value during
+the execution of HPA program, part of contents is swapped out ...  The
+unit of swapping operation is a hash line ...  The hash line swapped out
+is selected using a LRU algorithm."
+
+:class:`SwapManager` owns one node's :class:`CandidateHashTable` (resident
+lines only), a replacement policy over those lines, and a pager that
+moves lines out/in.  The two hot operations — inserting a candidate and
+counting an occurrence — are *fast-path/slow-path split*: they return
+``None`` when everything was resident (pure Python, no simulation
+events), or a generator the calling process must ``yield from`` when a
+swap, fault, or update flush is needed.  This keeps event counts
+proportional to faults, not to itemsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.analysis.cost_model import CostModel
+from repro.core.memory_table import LineState, MemoryManagementTable
+from repro.core.pager import Pager
+from repro.core.policies import LRUPolicy, ReplacementPolicy
+from repro.errors import MiningError, SwapError
+from repro.mining.hash_table import CandidateHashTable, HashLine
+from repro.mining.itemsets import ITEMSET_BYTES, Itemset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.node import Node
+
+__all__ = ["SwapManager", "SwapManagerStats"]
+
+
+@dataclass
+class SwapManagerStats:
+    """Hot-path counters (pager I/O counters live on the pager)."""
+
+    inserts: int = 0
+    counts: int = 0
+    fast_counts: int = 0
+    remote_counts: int = 0
+
+
+class SwapManager:
+    """Memory-limit enforcement for one application execution node."""
+
+    def __init__(
+        self,
+        node: "Node",
+        limit_bytes: Optional[int] = None,
+        pager: Optional[Pager] = None,
+        policy: Optional[ReplacementPolicy] = None,
+        cost: Optional[CostModel] = None,
+    ) -> None:
+        if limit_bytes is not None:
+            if limit_bytes <= 0:
+                raise SwapError(f"memory limit must be positive, got {limit_bytes}")
+            if pager is None:
+                raise SwapError("a memory limit requires a pager")
+        self.node = node
+        self.limit_bytes = limit_bytes
+        self.pager = pager
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.cost = cost if cost is not None else CostModel()
+        self.table = CandidateHashTable()
+        self.mm_table = pager.table if pager is not None else MemoryManagementTable()
+        self.resident_bytes = 0
+        self.stats = SwapManagerStats()
+        # line_id -> completion event while a fault is in flight, so two
+        # processes on the same node (HPA's sender and receiver) never
+        # fault the same line twice concurrently.
+        self._faulting: dict[int, object] = {}
+        # In-flight asynchronous eviction transfers (see _make_room).
+        self._evictions: list = []
+        #: Bytes pinned in memory outside the hash table (e.g. HPA-ELD's
+        #: duplicated candidates); they count against the usage limit but
+        #: can never be evicted.
+        self.pinned_bytes = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def over_limit(self) -> bool:
+        """True while resident + pinned bytes exceed the configured limit."""
+        return (
+            self.limit_bytes is not None
+            and self.resident_bytes + self.pinned_bytes > self.limit_bytes
+        )
+
+    def total_candidates(self) -> int:
+        """Resident candidates only (swapped ones live with the pager)."""
+        return self.table.n_itemsets
+
+    # -- candidate insertion (candidate-generation phase) ---------------------
+
+    def insert_candidate(self, itemset: Itemset, line_id: int) -> Optional[Generator]:
+        """Add a candidate with count 0 to its hash line.
+
+        Fast path returns ``None``; a generator is returned when the
+        insert overflows the limit (evictions required), targets a
+        swapped-out line (fault first), or targets a remote-fixed line
+        (remote insert record).
+        """
+        self.stats.inserts += 1
+        state = self.mm_table.state(line_id)
+        if state is LineState.RESIDENT:
+            self._insert_resident(itemset, line_id)
+            if self.over_limit:
+                # Never evict the line we are actively inserting into.
+                self._make_room(pinned=line_id)
+            return None
+        if state in (LineState.REMOTE_FIXED, LineState.MIGRATING) and (
+            self.pager is not None and self.pager.supports_remote_update
+        ):
+            return self.pager.buffer_update(line_id, itemset, 0)
+        return self._insert_slow(itemset, line_id)
+
+    def _insert_resident(self, itemset: Itemset, line_id: int) -> None:
+        line = self.table.get(line_id)
+        if line is None:
+            line = self.table.line(line_id)
+            self.policy.insert(line_id)
+            self.resident_bytes += line.nbytes  # header of the fresh line
+        line.add(itemset)
+        self.resident_bytes += ITEMSET_BYTES
+        self.policy.touch(line_id)
+
+    def _insert_slow(self, itemset: Itemset, line_id: int) -> Generator:
+        yield from self._ensure_resident(line_id)
+        self._insert_resident(itemset, line_id)
+        if self.over_limit:
+            self._make_room(pinned=line_id)
+
+    # -- support counting (counting phase) --------------------------------------
+
+    def count_itemset(self, itemset: Itemset, line_id: int) -> Optional[Generator]:
+        """Increment the support count of a candidate.
+
+        Every routed itemset must be a candidate on this node (HPA's
+        sender-side pruning guarantees it); a miss raises
+        :class:`MiningError` because it means routing is broken.
+        """
+        self.stats.counts += 1
+        state = self.mm_table.state(line_id)
+        if state is LineState.RESIDENT:
+            line = self.table.get(line_id)
+            if line is None or not line.increment(itemset):
+                raise MiningError(
+                    f"itemset {itemset} routed to line {line_id} is not a "
+                    f"candidate there"
+                )
+            self.policy.touch(line_id)
+            self.stats.fast_counts += 1
+            return None
+        if state in (LineState.REMOTE_FIXED, LineState.MIGRATING) and (
+            self.pager is not None and self.pager.supports_remote_update
+        ):
+            self.stats.remote_counts += 1
+            return self.pager.buffer_update(line_id, itemset, 1)
+        return self._count_slow(itemset, line_id)
+
+    def _count_slow(self, itemset: Itemset, line_id: int) -> Generator:
+        yield from self._ensure_resident(line_id)
+        line = self.table.get(line_id)
+        if line is None or not line.increment(itemset):
+            raise MiningError(
+                f"itemset {itemset} routed to line {line_id} is not a candidate there"
+            )
+        self.policy.touch(line_id)
+
+    # -- paging machinery ------------------------------------------------------------
+
+    def _ensure_resident(self, line_id: int) -> Generator:
+        """Fault ``line_id`` in, serialising concurrent faults per line.
+
+        HPA runs a sender and a receiver process per node; both may touch
+        the same swapped line in the same window.  The second comer waits
+        on the first fault's completion event and then re-checks state
+        (the line may even have been evicted again, hence the loop).
+        """
+        assert self.pager is not None
+        while self.mm_table.state(line_id) is not LineState.RESIDENT:
+            pending = self._faulting.get(line_id)
+            if pending is not None:
+                yield pending
+                continue
+            done = self.node.env.event()
+            self._faulting[line_id] = done
+            try:
+                line = yield from self.pager.fault_in(line_id)
+                self.table.put(line)
+                self.policy.insert(line_id)
+                self.resident_bytes += line.nbytes
+            finally:
+                self._faulting.pop(line_id)
+                done.succeed()
+            if self.over_limit:
+                self._make_room(pinned=line_id)
+            break
+
+    def _make_room(self, pinned: Optional[int] = None) -> None:
+        """Evict victims until back under the limit (paper's LRU loop).
+
+        The pager commits each victim's new location atomically before
+        paying transfer/service time, so the transfer itself overlaps
+        with ongoing computation (it runs as a background process).  This
+        matches the paper's measured per-pagefault time, which contains
+        no eviction component (Table 4's ~2.3 ms = RTT + transmit +
+        holder service only).
+        """
+        assert self.pager is not None
+        evicted_any = False
+        while self.over_limit:
+            if len(self.policy) == 0 or (len(self.policy) == 1 and pinned in self.policy):
+                # Nothing evictable: tolerate a single over-limit line
+                # rather than deadlocking (limit smaller than one line).
+                break
+            victim = self.policy.victim(pinned=pinned)
+            line = self.table.pop(victim)
+            self.resident_bytes -= line.nbytes
+            # evict() commits the new location before returning; only the
+            # transfer cost runs in the background.
+            payment = self.pager.evict(line)
+            self._evictions.append(self.node.env.process(payment))
+            evicted_any = True
+        if evicted_any:
+            self._evictions = [p for p in self._evictions if p.is_alive]
+
+    # -- determination-phase access ----------------------------------------------------
+
+    def iter_all_lines(self) -> Generator:
+        """Process generator yielding nothing; returns every line's counts.
+
+        Resident lines are read directly; swapped lines are peeked
+        through the pager (paying the fetch cost) without changing
+        residency.  Returns a list of :class:`HashLine`.
+        """
+        lines: list[HashLine] = list(self.table)
+        for line_id in self.mm_table.non_resident_lines():
+            state = self.mm_table.state(line_id)
+            if state is LineState.RESIDENT:
+                continue
+            assert self.pager is not None
+            line = yield from self.pager.peek_line(line_id)
+            lines.append(line)
+        return lines
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def drain(self) -> Generator:
+        """Settle outstanding pager work (eviction transfers, update
+        flushes) before reading counts."""
+        alive = [p for p in self._evictions if p.is_alive]
+        if alive:
+            yield self.node.env.all_of(alive)
+        self._evictions.clear()
+        if self.pager is not None:
+            yield from self.pager.drain()
+
+    def reset_pass(self) -> None:
+        """Clear all per-pass state: hash table, policy, locations."""
+        self.table.clear()
+        self.mm_table.clear()
+        self.policy.clear()
+        self.resident_bytes = 0
+        self.pinned_bytes = 0
+        if self.pager is not None:
+            self.pager.reset_pass()
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (used heavily by tests).
+
+        - resident byte ledger equals the hash table's true footprint;
+        - the policy tracks exactly the resident line ids;
+        - the limit holds, allowing the single-oversized-line exception.
+        """
+        actual = self.table.nbytes
+        if actual != self.resident_bytes:
+            raise SwapError(
+                f"resident byte ledger {self.resident_bytes} != table {actual}"
+            )
+        policy_ids = {lid for lid in self.table.line_ids if lid in self.policy}
+        if len(self.policy) != len(self.table) or len(policy_ids) != len(self.table):
+            raise SwapError("policy does not track exactly the resident lines")
+        if self.limit_bytes is not None and len(self.table) > 1:
+            if self.resident_bytes + self.pinned_bytes > self.limit_bytes:
+                raise SwapError(
+                    f"over limit with multiple resident lines: "
+                    f"{self.resident_bytes} > {self.limit_bytes}"
+                )

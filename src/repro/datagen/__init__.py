@@ -1,0 +1,21 @@
+"""Synthetic basket-data generation (IBM Quest reimplementation)."""
+
+from repro.datagen.corpus import TransactionDatabase
+from repro.datagen.quest import QuestGenerator, QuestParams, parse_workload_name
+from repro.datagen.workloads import WORKLOADS, make_workload, paper_workload_params
+
+__all__ = [
+    "TransactionDatabase",
+    "QuestGenerator",
+    "QuestParams",
+    "parse_workload_name",
+    "generate",
+    "WORKLOADS",
+    "make_workload",
+    "paper_workload_params",
+]
+
+
+def generate(name: str, **overrides: object) -> TransactionDatabase:
+    """One-call convenience: ``generate("T10.I4.D10K", n_items=500)``."""
+    return QuestGenerator(parse_workload_name(name, **overrides)).generate()

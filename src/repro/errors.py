@@ -1,0 +1,95 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(SimulationError):
+    """Internal control-flow exception used by ``Environment.run(until=...)``.
+
+    Carries the value of the event that terminated the run.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(SimulationError):
+    """Thrown *into* a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` describing why
+    the target was interrupted (e.g. a migration signal).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class ClusterError(ReproError):
+    """Base class for errors in the simulated cluster substrate."""
+
+
+class NetworkError(ClusterError):
+    """Raised for malformed network operations (unknown node, bad size)."""
+
+
+class MemoryLedgerError(ClusterError):
+    """Raised when a node's memory ledger would go negative or overflow."""
+
+
+class DiskError(ClusterError):
+    """Raised for invalid disk I/O requests (negative size, bad block)."""
+
+
+class MiningError(ReproError):
+    """Base class for errors in the association-rule mining substrate."""
+
+
+class DataGenError(ReproError):
+    """Raised for invalid synthetic-data-generator parameters."""
+
+
+class RemoteMemoryError(ReproError):
+    """Base class for errors in the remote-memory subsystem (the paper's core)."""
+
+
+class SwapError(RemoteMemoryError):
+    """Raised for invalid swap-manager operations (unknown line, double swap)."""
+
+
+class NoMemoryAvailable(RemoteMemoryError):
+    """Raised when no memory-available node can accept a swap-out.
+
+    Mirrors the paper's failure mode when every candidate destination has
+    signalled a shortage; callers typically fall back to the disk pager.
+    """
+
+
+class MigrationError(RemoteMemoryError):
+    """Raised when a migration direction cannot be honoured."""
+
+
+class HarnessError(ReproError):
+    """Raised for invalid experiment configurations in the bench harness."""

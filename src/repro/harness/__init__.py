@@ -1,0 +1,13 @@
+"""Benchmark harness: scaled workloads, per-table/figure experiments, CLI."""
+
+from repro.harness.experiments import ALL_EXPERIMENTS, ExperimentReport
+from repro.harness.scales import SCALES, PreparedWorkload, Scale, prepare_workload
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentReport",
+    "SCALES",
+    "Scale",
+    "PreparedWorkload",
+    "prepare_workload",
+]

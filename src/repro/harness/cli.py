@@ -1,0 +1,89 @@
+"""``repro-bench`` command-line entry point.
+
+Usage::
+
+    repro-bench fig4                 # one experiment at the small scale
+    repro-bench all --scale full     # every experiment, paper-like layout
+    repro-bench --list
+
+Each experiment prints the same rows/series the paper's table or figure
+reports, at the selected workload scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.scales import SCALES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the tables and figures of the IPPS 2000 "
+        "remote-memory data-mining paper on the simulated cluster.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help=f"experiment id: {', '.join(ALL_EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="workload scale (default: small)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write <DIR>/<experiment>.json with the raw data",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            print(f"  {name}")
+        print("or 'all'")
+        return 0
+
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        start = time.perf_counter()
+        report = ALL_EXPERIMENTS[name](args.scale)
+        elapsed = time.perf_counter() - start
+        print(report)
+        print(f"[{name} completed in {elapsed:.1f}s wall]")
+        print()
+        if args.json is not None:
+            import pathlib
+
+            out = pathlib.Path(args.json)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{name}.json").write_text(report.to_json())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,728 @@
+"""One function per paper table/figure: run, and report paper-style rows.
+
+Every experiment returns an :class:`ExperimentReport` whose ``text`` is
+the same table/series the paper prints, plus machine-readable ``data``
+used by the benchmark assertions and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Mapping, Optional
+
+from repro.analysis import (
+    disk_comparison,
+    pagefault_row,
+    predicted_fault_time_s,
+    render_kv,
+    render_series,
+    render_table,
+)
+from repro.analysis.cost_model import PAPER_COSTS, CostModel
+from repro.cluster.specs import ATM_155
+from repro.datagen import generate
+from repro.errors import HarnessError
+from repro.mining import apriori, skew_statistics
+from repro.mining.hpa import HPAConfig, HPAResult, HPARun
+from repro.harness.scales import SCALES, PreparedWorkload, prepare_workload
+
+__all__ = [
+    "ExperimentReport",
+    "exp_table2_pass_profile",
+    "exp_table3_partition_skew",
+    "exp_table4_pagefault_cost",
+    "exp_fig3_memory_nodes",
+    "exp_fig4_method_comparison",
+    "exp_fig5_migration",
+    "exp_disk_access_analysis",
+    "exp_monitor_interval",
+    "exp_ablation_policy",
+    "exp_ablation_blocksize",
+    "exp_ablation_eld",
+    "exp_ablation_loss",
+    "exp_scaling",
+    "exp_npa_comparison",
+    "ALL_EXPERIMENTS",
+]
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered paper artifact plus its underlying data."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    paper_shape: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        header = f"== {self.exp_id}: {self.title} =="
+        parts = [header, self.text]
+        if self.paper_shape:
+            parts.append(f"[paper shape] {self.paper_shape}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Machine-readable dump (keys stringified for JSON)."""
+
+        def keyfix(obj):
+            if isinstance(obj, dict):
+                return {str(k): keyfix(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [keyfix(v) for v in obj]
+            return obj
+
+        return json.dumps(
+            {
+                "exp_id": self.exp_id,
+                "title": self.title,
+                "paper_shape": self.paper_shape,
+                "data": keyfix(self.data),
+            },
+            indent=2,
+        )
+
+
+def _base_config(prep: PreparedWorkload, **overrides) -> HPAConfig:
+    scale = prep.scale
+    kwargs = dict(
+        minsup=scale.minsup,
+        n_app_nodes=scale.n_app_nodes,
+        total_lines=scale.total_lines,
+        max_k=2,  # the paper's §5 experiments measure pass 2
+        seed=scale.seed,
+    )
+    kwargs.update(overrides)
+    return HPAConfig(**kwargs)
+
+
+@lru_cache(maxsize=256)
+def _run_cached(
+    scale_name: str,
+    pager: str,
+    n_mem: int,
+    paper_mb: Optional[float],
+    replacement: str = "lru",
+    monitor_interval_s: Optional[float] = None,
+    message_block_bytes: Optional[int] = None,
+    shortages: tuple = (),
+    eld_fraction: float = 0.0,
+    loss_probability: float = 0.0,
+) -> HPAResult:
+    """Execute one HPA configuration (memoised across experiments)."""
+    prep = prepare_workload(scale_name)
+    cost: CostModel = PAPER_COSTS
+    if message_block_bytes is not None:
+        cost = cost.with_overrides(message_block_bytes=message_block_bytes)
+    limit = None if paper_mb is None else prep.limit_bytes(paper_mb)
+    cfg = _base_config(
+        prep,
+        pager=pager,
+        n_memory_nodes=n_mem,
+        memory_limit_bytes=limit,
+        replacement=replacement,
+        monitor_interval_s=monitor_interval_s,
+        cost=cost,
+        eld_fraction=eld_fraction,
+        loss_probability=loss_probability,
+    )
+    run = HPARun(prep.db, cfg)
+    for t, idx in shortages:
+        run.shortage_schedule.append((t, run.mem_ids[idx]))
+    return run.run()
+
+
+def _pass2_time(res: HPAResult) -> float:
+    return res.pass_result(2).duration_s
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — candidate / large itemsets at each pass
+# ---------------------------------------------------------------------------
+
+def exp_table2_pass_profile(scale: str = "small") -> ExperimentReport:
+    """Reproduce Table 2's per-pass candidate explosion.
+
+    The paper mines 10 M transactions at 0.7 % support; pass 2's
+    candidate count dwarfs every other pass and the run dies out by
+    pass 5.  We mine a scaled workload at a support chosen to terminate
+    naturally within a few passes.
+    """
+    s = SCALES[scale]
+    db = generate(s.workload, n_items=s.n_items, seed=s.seed)
+    # A higher support than the swapping experiments so that later passes
+    # shrink sharply, matching Table 2's cliff.
+    minsup = s.minsup * 2.5
+    res = apriori(db, minsup=minsup)
+    rows = [
+        (f"pass {k}", "" if c is None else c, l)
+        for k, c, l in res.table2_rows()
+    ]
+    c2 = res.passes[1].n_candidates if len(res.passes) > 1 else 0
+    later = max((p.n_candidates for p in res.passes[2:]), default=0)
+    text = render_table(
+        ["pass", "C (candidates)", "L (large)"],
+        rows,
+        title=f"Table 2 equivalent — {s.workload}, {s.n_items} items, minsup={minsup:g}",
+    )
+    return ExperimentReport(
+        exp_id="T2",
+        title="Number of candidate and large itemsets at each pass",
+        text=text,
+        data={
+            "rows": res.table2_rows(),
+            "c2": c2,
+            "max_later_candidates": later,
+            "c2_dominates": later < c2,
+        },
+        paper_shape="C2 >> C_k for all k>2; iteration terminates when "
+        "large/candidate itemsets run out (paper: 522753 candidates in "
+        "pass 2 vs <=19 afterwards).",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — candidate 2-itemsets per node (hash partitioning skew)
+# ---------------------------------------------------------------------------
+
+def exp_table3_partition_skew(scale: str = "small") -> ExperimentReport:
+    """Reproduce Table 3: per-node candidate counts are close but skewed."""
+    prep = prepare_workload(scale)
+    stats = skew_statistics(prep.per_node_candidates)
+    rows = [
+        (f"node {i + 1}", c) for i, c in enumerate(prep.per_node_candidates)
+    ]
+    text = "\n".join(
+        [
+            render_table(
+                ["node", "candidate 2-itemsets"],
+                rows,
+                title=f"Table 3 equivalent — {prep.scale.workload}, "
+                f"{prep.n_candidates_2} candidates over "
+                f"{prep.scale.n_app_nodes} nodes",
+            ),
+            render_kv(
+                {
+                    "mean": stats.mean,
+                    "max": stats.maximum,
+                    "min": stats.minimum,
+                    "max/mean": stats.max_over_mean,
+                    "coeff. of variation": stats.coefficient_of_variation,
+                }
+            ),
+        ]
+    )
+    return ExperimentReport(
+        exp_id="T3",
+        title="Number of candidate 2-itemsets at each node",
+        text=text,
+        data={
+            "per_node": list(prep.per_node_candidates),
+            "max_over_mean": stats.max_over_mean,
+        },
+        paper_shape="counts near-equal but unequal (paper: 582149..641243 "
+        "around a 608985 mean, ~5% skew).",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — execution time of each pagefault
+# ---------------------------------------------------------------------------
+
+def exp_table4_pagefault_cost(scale: str = "small") -> ExperimentReport:
+    """Reproduce Table 4: per-pagefault time from Exec/Diff/Max columns."""
+    prep = prepare_workload(scale)
+    n_mem = prep.scale.max_memory_nodes
+    baseline = _pass2_time(_run_cached(scale, "remote", n_mem, None))
+    rows = []
+    per_fault = {}
+    for mb in prep.scale.limits_mb:
+        res = _run_cached(scale, "remote", n_mem, mb)
+        p2 = res.pass_result(2)
+        row = pagefault_row(f"{mb:g}MB", p2.duration_s, baseline, p2.max_faults)
+        rows.append(row)
+        per_fault[mb] = row.per_fault_s
+    predicted = predicted_fault_time_s(PAPER_COSTS, ATM_155)
+    text = "\n".join(
+        [
+            render_table(
+                ["usage limit", "Exec [s]", "Diff [s]", "Max faults", "PF [ms]"],
+                [
+                    (r.label, r.exec_time_s, r.diff_time_s, r.max_faults,
+                     r.per_fault_s * 1e3)
+                    for r in rows
+                ],
+                title=f"Table 4 equivalent — {n_mem} memory-available nodes, "
+                f"no-limit baseline {baseline:.1f}s",
+            ),
+            f"analytic decomposition (RTT + 4KB transmit + service): "
+            f"{predicted * 1e3:.2f} ms",
+        ]
+    )
+    return ExperimentReport(
+        exp_id="T4",
+        title="Execution time of each pagefault",
+        text=text,
+        data={
+            "baseline_s": baseline,
+            "per_fault_ms": {mb: v * 1e3 for mb, v in per_fault.items()},
+            "predicted_ms": predicted * 1e3,
+        },
+        paper_shape="PF time ~2.2-2.4 ms, roughly constant across limits "
+        "(paper: 2.37/2.33/2.22/1.90 ms), decomposed as 0.5 ms RTT + "
+        "0.3 ms transmit + ~1.5 ms service.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — execution time vs number of memory-available nodes
+# ---------------------------------------------------------------------------
+
+def exp_fig3_memory_nodes(scale: str = "small") -> ExperimentReport:
+    """Reproduce Figure 3: few memory nodes bottleneck the fault service."""
+    prep = prepare_workload(scale)
+    series: dict[str, dict[int, float]] = {}
+    for mb in prep.scale.limits_mb:
+        series[f"limit {mb:g}MB"] = {
+            n: _pass2_time(_run_cached(scale, "remote", n, mb))
+            for n in prep.scale.memory_node_counts
+        }
+    series["no limit"] = {
+        n: _pass2_time(_run_cached(scale, "remote", n, None))
+        for n in prep.scale.memory_node_counts
+    }
+    text = render_series(
+        "#memory nodes",
+        series,
+        title=f"Figure 3 equivalent — pass 2 execution time [s], "
+        f"{prep.scale.n_app_nodes} application nodes",
+    )
+    tight = f"limit {prep.scale.limits_mb[0]:g}MB"
+    n_min, n_max = min(prep.scale.memory_node_counts), max(prep.scale.memory_node_counts)
+    return ExperimentReport(
+        exp_id="F3",
+        title="Execution time of HPA (pass 2) vs memory-available nodes",
+        text=text,
+        data={
+            "series": {k: dict(v) for k, v in series.items()},
+            "bottleneck_ratio": series[tight][n_min] / series[tight][n_max],
+        },
+        paper_shape="curves fall steeply from 1 memory node and flatten by "
+        "8-16; lower limits sit higher; the no-limit curve is flat and "
+        "lowest.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — disk vs simple swapping vs remote update
+# ---------------------------------------------------------------------------
+
+def exp_fig4_method_comparison(scale: str = "small") -> ExperimentReport:
+    """Reproduce Figure 4: the three swapping mechanisms vs usage limit."""
+    prep = prepare_workload(scale)
+    n_mem = prep.scale.max_memory_nodes
+    series: dict[str, dict[float, float]] = {
+        "disk swapping": {}, "simple swapping": {}, "remote update": {},
+    }
+    for mb in prep.scale.limits_mb:
+        series["disk swapping"][mb] = _pass2_time(_run_cached(scale, "disk", 0, mb))
+        series["simple swapping"][mb] = _pass2_time(_run_cached(scale, "remote", n_mem, mb))
+        series["remote update"][mb] = _pass2_time(
+            _run_cached(scale, "remote-update", n_mem, mb)
+        )
+    text = render_series(
+        "usage limit [MB]",
+        series,
+        title=f"Figure 4 equivalent — pass 2 execution time [s], "
+        f"{n_mem} memory-available nodes",
+    )
+    tight = prep.scale.limits_mb[0]
+    return ExperimentReport(
+        exp_id="F4",
+        title="Comparison of proposed methods",
+        text=text,
+        data={
+            "series": {k: dict(v) for k, v in series.items()},
+            "disk_over_simple": series["disk swapping"][tight]
+            / series["simple swapping"][tight],
+            "simple_over_update": series["simple swapping"][tight]
+            / series["remote update"][tight],
+        },
+        paper_shape="disk >> simple swapping >> remote update at every "
+        "limit; remote update is nearly flat in the limit.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — dynamic memory migration
+# ---------------------------------------------------------------------------
+
+def exp_fig5_migration(scale: str = "small") -> ExperimentReport:
+    """Reproduce Figure 5: migrating 0/1/2 memory nodes away mid-run
+    changes execution time only marginally."""
+    prep = prepare_workload(scale)
+    n_mem = prep.scale.max_memory_nodes
+    series: dict[str, dict[float, float]] = {
+        "all memory nodes available": {},
+        "1 memory node unavailable": {},
+        "2 memory nodes unavailable": {},
+    }
+    for mb in prep.scale.limits_mb:
+        base = _run_cached(scale, "remote-update", n_mem, mb)
+        p2 = base.pass_result(2)
+        series["all memory nodes available"][mb] = p2.duration_s
+        # Signal shortages inside pass 2's counting phase.
+        t1 = p2.start_time + 0.4 * p2.duration_s
+        t2 = p2.start_time + 0.6 * p2.duration_s
+        one = _run_cached(scale, "remote-update", n_mem, mb, shortages=((t1, 0),))
+        series["1 memory node unavailable"][mb] = _pass2_time(one)
+        two = _run_cached(
+            scale, "remote-update", n_mem, mb, shortages=((t1, 0), (t2, 1))
+        )
+        series["2 memory nodes unavailable"][mb] = _pass2_time(two)
+    text = render_series(
+        "usage limit [MB]",
+        series,
+        title=f"Figure 5 equivalent — pass 2 execution time [s] with "
+        f"mid-run shortages, {n_mem} memory-available nodes",
+    )
+    tight = prep.scale.limits_mb[0]
+    overhead = (
+        series["2 memory nodes unavailable"][tight]
+        / series["all memory nodes available"][tight]
+    )
+    return ExperimentReport(
+        exp_id="F5",
+        title="Dynamic memory migration on memory-available nodes",
+        text=text,
+        data={
+            "series": {k: dict(v) for k, v in series.items()},
+            "worst_overhead_ratio": overhead,
+        },
+        paper_shape="the three curves nearly coincide: migration overhead "
+        "is almost negligible.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# §5.2 — disk access-time analysis
+# ---------------------------------------------------------------------------
+
+def exp_disk_access_analysis(scale: str = "small") -> ExperimentReport:
+    """Reproduce §5.2's closing arithmetic: remote memory vs disks."""
+    rows = disk_comparison()
+    text = render_table(
+        ["device", "seek [ms]", "rotation [ms]", "access [ms]", "x remote"],
+        [
+            (r.device, r.seek_s * 1e3, r.rotation_s * 1e3,
+             r.access_time_s * 1e3, r.ratio_vs_remote)
+            for r in rows
+        ],
+        title="§5.2 equivalent — average random 4KB read",
+    )
+    return ExperimentReport(
+        exp_id="S52",
+        title="Remote-memory pagefault vs disk access time",
+        text=text,
+        data={r.device: r.access_time_s for r in rows},
+        paper_shape=">=13.0 ms for the 7200rpm disk, >=7.5 ms for the "
+        "12000rpm disk, vs ~2.3 ms remote.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# §5.4 — monitoring-interval sensitivity (ablation)
+# ---------------------------------------------------------------------------
+
+def exp_monitor_interval(scale: str = "small") -> ExperimentReport:
+    """Reproduce §5.4's claim: 1-3 s intervals are free, very short
+    intervals cost monitoring/communication overhead."""
+    prep = prepare_workload(scale)
+    n_mem = prep.scale.max_memory_nodes
+    mb = prep.scale.limits_mb[1]
+    intervals = (0.02, 0.1, 1.0, 3.0, 10.0)
+    times = {
+        i: _pass2_time(_run_cached(scale, "remote", n_mem, mb, monitor_interval_s=i))
+        for i in intervals
+    }
+    text = render_series(
+        "monitor interval [s]",
+        {"pass 2 time [s]": times},
+        title=f"§5.4 equivalent — limit {mb:g}MB, {n_mem} memory nodes",
+    )
+    return ExperimentReport(
+        exp_id="S54",
+        title="Sensitivity to the availability-monitoring interval",
+        text=text,
+        data={"times": dict(times)},
+        paper_shape="flat at 1-3 s; overhead appears only for very short "
+        "intervals.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A1 — replacement policy
+# ---------------------------------------------------------------------------
+
+def exp_ablation_policy(scale: str = "small") -> ExperimentReport:
+    """Quantify the paper's LRU choice against FIFO and random."""
+    prep = prepare_workload(scale)
+    n_mem = prep.scale.max_memory_nodes
+    mb = prep.scale.limits_mb[0]
+    rows = []
+    data = {}
+    for policy in ("lru", "fifo", "random"):
+        res = _run_cached(scale, "remote", n_mem, mb, replacement=policy)
+        p2 = res.pass_result(2)
+        rows.append((policy, p2.duration_s, p2.max_faults))
+        data[policy] = {"time_s": p2.duration_s, "max_faults": p2.max_faults}
+    text = render_table(
+        ["policy", "pass 2 time [s]", "max faults"],
+        rows,
+        title=f"Ablation — replacement policy at limit {mb:g}MB",
+    )
+    return ExperimentReport(
+        exp_id="A1",
+        title="Replacement-policy ablation (paper uses LRU)",
+        text=text,
+        data=data,
+        paper_shape="the paper asserts LRU; with near-uniform hash-line "
+        "access the policies should be close, with LRU never worst.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A2 — message block size
+# ---------------------------------------------------------------------------
+
+def exp_ablation_blocksize(scale: str = "small") -> ExperimentReport:
+    """Vary the 4 KB message block of §5.1."""
+    prep = prepare_workload(scale)
+    n_mem = prep.scale.max_memory_nodes
+    mb = prep.scale.limits_mb[0]
+    sizes = (1024, 4096, 16384)
+    series: dict[str, dict[int, float]] = {"simple swapping": {}, "remote update": {}}
+    for size in sizes:
+        series["simple swapping"][size] = _pass2_time(
+            _run_cached(scale, "remote", n_mem, mb, message_block_bytes=size)
+        )
+        series["remote update"][size] = _pass2_time(
+            _run_cached(scale, "remote-update", n_mem, mb, message_block_bytes=size)
+        )
+    text = render_series(
+        "message block [B]",
+        series,
+        title=f"Ablation — message block size at limit {mb:g}MB",
+    )
+    return ExperimentReport(
+        exp_id="A2",
+        title="Message-block-size ablation (paper uses 4 KB)",
+        text=text,
+        data={k: dict(v) for k, v in series.items()},
+        paper_shape="larger blocks inflate per-fault transmission for "
+        "simple swapping; remote update amortises either way.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A3 — HPA-ELD skew handling
+# ---------------------------------------------------------------------------
+
+def exp_ablation_eld(scale: str = "small") -> ExperimentReport:
+    """The skew-handling extension the paper cites: duplicate the most
+    frequent candidates everywhere, count them locally."""
+    prep = prepare_workload(scale)
+    n_mem = prep.scale.max_memory_nodes
+    mb = prep.scale.limits_mb[1]
+    fractions = (0.0, 0.02, 0.1, 0.3)
+    rows = []
+    data = {}
+    for frac in fractions:
+        res = _run_cached(
+            scale, "remote-update", n_mem, mb, eld_fraction=frac
+        )
+        p2 = res.pass_result(2)
+        rows.append(
+            (f"{frac:g}", p2.n_duplicated, p2.count_messages, p2.duration_s)
+        )
+        data[frac] = {
+            "duplicated": p2.n_duplicated,
+            "count_messages": p2.count_messages,
+            "time_s": p2.duration_s,
+        }
+    text = render_table(
+        ["ELD fraction", "duplicated", "count messages", "pass 2 time [s]"],
+        rows,
+        title=f"Ablation — HPA-ELD duplication at limit {mb:g}MB",
+    )
+    return ExperimentReport(
+        exp_id="A3",
+        title="HPA-ELD frequent-candidate duplication (cited skew handling)",
+        text=text,
+        data=data,
+        paper_shape="duplicating the most frequent candidates removes a "
+        "disproportionate share of itemset traffic; results unchanged.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A4 — UBR cell loss / TCP retransmission
+# ---------------------------------------------------------------------------
+
+def exp_ablation_loss(scale: str = "small") -> ExperimentReport:
+    """Extension: the cluster runs TCP over ATM's UBR class; quantify how
+    segment loss (and the retransmission timeout it triggers) erodes the
+    remote-memory advantage."""
+    prep = prepare_workload(scale)
+    n_mem = prep.scale.max_memory_nodes
+    mb = prep.scale.limits_mb[1]
+    losses = (0.0, 0.001, 0.01)
+    rows = []
+    data = {}
+    for loss in losses:
+        res = _run_cached(
+            scale, "remote", n_mem, mb, loss_probability=loss
+        )
+        p2 = res.pass_result(2)
+        rows.append((f"{loss:g}", p2.duration_s))
+        data[loss] = p2.duration_s
+    text = render_table(
+        ["loss probability", "pass 2 time [s]"],
+        rows,
+        title=f"Ablation — UBR segment loss at limit {mb:g}MB, simple swapping",
+    )
+    return ExperimentReport(
+        exp_id="A4",
+        title="Segment loss / TCP retransmission sensitivity",
+        text=text,
+        data=data,
+        paper_shape="loss inflates execution time through retransmission "
+        "timeouts, superlinearly in the loss rate.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline — NPA vs HPA under shrinking memory (§2.2's motivation)
+# ---------------------------------------------------------------------------
+
+def exp_npa_comparison(scale: str = "small") -> ExperimentReport:
+    """Quantify §2.2's claim that HPA "effectively utilizes the whole
+    memory space of all the processors": NPA duplicates the candidate set
+    on every node and collapses first as the per-node limit shrinks."""
+    from repro.mining.npa import NPAConfig, NPARun
+
+    prep = prepare_workload(scale)
+    s = prep.scale
+    n_mem = s.max_memory_nodes
+    series: dict[str, dict[str, float]] = {"HPA": {}, "NPA": {}}
+    data: dict = {}
+
+    def npa_run(paper_mb):
+        limit = None if paper_mb is None else prep.limit_bytes(paper_mb)
+        cfg = NPAConfig(
+            minsup=s.minsup, n_app_nodes=s.n_app_nodes,
+            total_lines=s.total_lines, max_k=2, seed=s.seed,
+            pager="remote-update" if paper_mb is not None else "none",
+            n_memory_nodes=n_mem if paper_mb is not None else 0,
+            memory_limit_bytes=limit,
+        )
+        return NPARun(prep.db, cfg).run()
+
+    labels = ["no limit"] + [f"{mb:g}MB" for mb in s.limits_mb]
+    for label, mb in zip(labels, [None, *s.limits_mb]):
+        hpa = (
+            _run_cached(scale, "remote-update", n_mem, mb)
+            if mb is not None
+            else _run_cached(scale, "none", 0, None)
+        )
+        npa = npa_run(mb)
+        series["HPA"][label] = hpa.pass_result(2).duration_s
+        series["NPA"][label] = npa.pass_result(2).duration_s
+        data[label] = {
+            "hpa_s": hpa.pass_result(2).duration_s,
+            "npa_s": npa.pass_result(2).duration_s,
+            "npa_swaps": max(npa.pass_result(2).swap_outs_per_node),
+            "hpa_swaps": max(hpa.pass_result(2).swap_outs_per_node),
+        }
+    text = render_series(
+        "usage limit",
+        series,
+        title="Baseline — NPA (full duplication) vs HPA (hash partitioned), "
+        "pass 2 time [s], remote update paging",
+    )
+    return ExperimentReport(
+        exp_id="B1",
+        title="NPA vs HPA under a per-node memory-usage limit",
+        text=text,
+        data=data,
+        paper_shape="NPA's duplicated candidate set overflows the limit "
+        "long before HPA's 1/n share does, so its curve climbs much "
+        "faster as the limit tightens.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scaling — speedup with application nodes (paper §3.3's claim)
+# ---------------------------------------------------------------------------
+
+def exp_scaling(scale: str = "small") -> ExperimentReport:
+    """Speedup of the (no-limit) HPA run as application nodes are added.
+
+    §3.3: "When the PC cluster using 100 PCs is employed for this
+    problem, reasonably good performance improvement is [obtained]".
+    We sweep node counts and report pass-2 speedup vs one node.
+    """
+    prep = prepare_workload(scale)
+    s = prep.scale
+    counts = [n for n in (1, 2, 4, 8) if n <= max(8, s.n_app_nodes)]
+    times = {}
+    for n in counts:
+        cfg = HPAConfig(
+            minsup=s.minsup,
+            n_app_nodes=n,
+            total_lines=(s.total_lines // n) * n or n,
+            max_k=2,
+            seed=s.seed,
+        )
+        res = HPARun(prep.db, cfg).run()
+        times[n] = res.pass_result(2).duration_s
+    base = times[counts[0]]
+    rows = [
+        (n, times[n], base / times[n], (base / times[n]) / n)
+        for n in counts
+    ]
+    text = render_table(
+        ["nodes", "pass 2 time [s]", "speedup", "efficiency"],
+        rows,
+        title=f"Scaling — {s.workload}, no memory limit",
+    )
+    return ExperimentReport(
+        exp_id="SC",
+        title="HPA speedup with application nodes",
+        text=text,
+        data={"times": times, "speedup": {n: base / times[n] for n in counts}},
+        paper_shape="near-linear speedup while communication stays off the "
+        "critical path.",
+    )
+
+
+#: Registry used by the CLI and the benchmark suite.
+ALL_EXPERIMENTS = {
+    "table2": exp_table2_pass_profile,
+    "table3": exp_table3_partition_skew,
+    "table4": exp_table4_pagefault_cost,
+    "fig3": exp_fig3_memory_nodes,
+    "fig4": exp_fig4_method_comparison,
+    "fig5": exp_fig5_migration,
+    "disk": exp_disk_access_analysis,
+    "monitor": exp_monitor_interval,
+    "policy": exp_ablation_policy,
+    "blocksize": exp_ablation_blocksize,
+    "eld": exp_ablation_eld,
+    "loss": exp_ablation_loss,
+    "scaling": exp_scaling,
+    "npa": exp_npa_comparison,
+}

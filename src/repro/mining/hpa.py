@@ -1,0 +1,823 @@
+"""Hash-Partitioned Apriori (HPA) on the simulated cluster.
+
+This is the paper's §2.2/§3.3 parallel miner, run as discrete-event
+processes.  Each pass:
+
+1. **Candidate generation** — every node generates all candidate
+   k-itemsets from the (globally known) large (k-1)-itemsets, keeps
+   those whose hash line it owns, and inserts them through its
+   :class:`~repro.core.swap_manager.SwapManager` (which may start
+   swapping out hash lines when the memory-usage limit is crossed).
+2. **Counting** — per node a *sender* process scans the local
+   transaction partition (sequential 64 KB disk reads), generates
+   k-subsets, routes each by hash to its owner, batching itemsets into
+   4 KB message blocks; a *receiver* process counts incoming itemsets
+   into the swap-managed hash table.  Pagefaults and remote updates
+   happen here.  Itemsets owned locally are counted in place.
+3. **Determination** — each node reads every line it owns (peeking
+   swapped ones through the pager), selects locally large itemsets, and
+   broadcasts them; the globally known L_k feeds the next pass.
+
+The result — large itemsets with exact support counts — is invariant
+under every pager/limit configuration; only the virtual clock differs.
+That property is what the integration tests pin against sequential
+Apriori.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.analysis.cost_model import CostModel, PAPER_COSTS
+from repro.cluster import Cluster
+from repro.core import (
+    DiskPager,
+    MemoryManagementTable,
+    MemoryMonitor,
+    MonitorClient,
+    RemoteMemoryPager,
+    RemoteStore,
+    RemoteUpdatePager,
+    SwapManager,
+)
+from repro.core.placement import make_placement
+from repro.core.policies import make_policy
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+from repro.mining.candidates import generate_candidates
+from repro.mining.itemsets import ITEMSET_BYTES, Itemset
+from repro.mining.partition import HashPartitioner
+from repro.analysis.trace import TraceCollector, UtilizationSampler
+from repro.sim import Environment
+
+__all__ = ["HPAConfig", "HPAResult", "HPAPassResult", "HPARun", "run_hpa"]
+
+#: Sentinel payload closing one sender->receiver stream.
+_EOF = "__eof__"
+
+#: Number of itemsets whose CPU cost is charged per compute call in the
+#: hot loops (keeps simulator event counts low without distorting totals).
+_CPU_CHUNK = 512
+
+
+@dataclass(frozen=True)
+class HPAConfig:
+    """Configuration of one HPA run (paper §5.1 parameters)."""
+
+    minsup: float = 0.01
+    n_app_nodes: int = 8
+    n_memory_nodes: int = 0
+    total_lines: int = 4096
+    memory_limit_bytes: Optional[int] = None
+    pager: str = "none"  # none | disk | remote | remote-update
+    replacement: str = "lru"
+    placement: str = "most-available"
+    monitor_interval_s: Optional[float] = None
+    send_window: int = 4
+    max_k: int = 0  # 0 = run to termination
+    cost: CostModel = PAPER_COSTS
+    seed: int = 0
+    #: HPA-ELD skew handling (the method the paper cites for treating
+    #: partitioning skew): this fraction of candidates with the highest
+    #: estimated frequency is *duplicated* on every node and counted
+    #: locally, removing their (dominant) share of the itemset traffic.
+    #: 0 disables the variant (plain HPA, the paper's configuration).
+    eld_fraction: float = 0.0
+    #: Extension beyond the paper: when no memory-available node can
+    #: accept an eviction, spill to the local swap disk instead of
+    #: failing (the paper assumes lenders always have room).
+    disk_fallback: bool = False
+    #: UBR cell-loss probability per message attempt (companion-study
+    #: extension); lost segments are retransmitted after TCP's RTO.
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.minsup <= 1.0:
+            raise MiningError(f"minsup must be in (0, 1], got {self.minsup}")
+        if not 0.0 <= self.eld_fraction <= 1.0:
+            raise MiningError(
+                f"eld_fraction must be in [0, 1], got {self.eld_fraction}"
+            )
+        if self.n_app_nodes <= 0:
+            raise MiningError("need at least one application node")
+        if self.pager not in ("none", "disk", "remote", "remote-update"):
+            raise MiningError(f"unknown pager {self.pager!r}")
+        if self.pager in ("remote", "remote-update") and self.n_memory_nodes <= 0:
+            raise MiningError(f"pager {self.pager!r} needs memory-available nodes")
+        if self.memory_limit_bytes is not None and self.pager == "none":
+            raise MiningError("a memory limit requires a pager")
+        if self.send_window <= 0:
+            raise MiningError("send window must be positive")
+        if self.disk_fallback and self.pager not in ("remote", "remote-update"):
+            raise MiningError("disk_fallback applies only to remote pagers")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise MiningError(
+                f"loss_probability must be in [0, 1), got {self.loss_probability}"
+            )
+
+
+@dataclass
+class HPAPassResult:
+    """Per-pass outcome and timing (one row of Table 2 plus phase times)."""
+
+    k: int
+    n_candidates: int
+    per_node_candidates: list[int]
+    n_large: int
+    start_time: float
+    end_time: float
+    candgen_time_s: float = 0.0
+    counting_time_s: float = 0.0
+    determine_time_s: float = 0.0
+    faults_per_node: list[int] = field(default_factory=list)
+    swap_outs_per_node: list[int] = field(default_factory=list)
+    update_msgs_per_node: list[int] = field(default_factory=list)
+    fault_time_per_node: list[float] = field(default_factory=list)
+    n_duplicated: int = 0
+    count_messages: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Total virtual time of this pass."""
+        return self.end_time - self.start_time
+
+    @property
+    def max_faults(self) -> int:
+        """Pagefaults at the busiest node (Table 4's ``Max`` column)."""
+        return max(self.faults_per_node, default=0)
+
+
+@dataclass
+class HPAResult:
+    """Outcome of a full HPA run."""
+
+    config: HPAConfig
+    large_itemsets: dict[Itemset, int]
+    passes: list[HPAPassResult]
+    total_time_s: float
+
+    def pass_result(self, k: int) -> HPAPassResult:
+        """The result row for pass ``k``."""
+        for p in self.passes:
+            if p.k == k:
+                return p
+        raise KeyError(f"no pass {k} in this run")
+
+    def table2_rows(self) -> list[tuple[int, Optional[int], int]]:
+        """(pass, C_k, L_k) rows in the paper's Table 2 format."""
+        return [
+            (p.k, None if p.k == 1 else p.n_candidates, p.n_large)
+            for p in self.passes
+        ]
+
+    def summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        cfg = self.config
+        lines = [
+            f"HPA run: {cfg.n_app_nodes} app nodes, "
+            f"{cfg.n_memory_nodes} memory nodes, pager={cfg.pager}, "
+            f"limit={cfg.memory_limit_bytes or 'none'}",
+            f"large itemsets: {len(self.large_itemsets)}; "
+            f"total virtual time: {self.total_time_s:.3f}s",
+        ]
+        for p in self.passes:
+            extra = ""
+            if p.k >= 2:
+                extra = (
+                    f"  [{p.duration_s:.3f}s"
+                    f", faults<=n:{p.max_faults}"
+                    f", swaps<=n:{max(p.swap_outs_per_node, default=0)}"
+                    f", msgs:{p.count_messages}]"
+                )
+            cand = "-" if p.k == 1 else str(p.n_candidates)
+            lines.append(f"  pass {p.k}: C={cand} L={p.n_large}{extra}")
+        return "\n".join(lines)
+
+
+class _SendWindow:
+    """Bounded number of in-flight asynchronous sends per process."""
+
+    def __init__(self, env: Environment, limit: int) -> None:
+        self.env = env
+        self.limit = limit
+        self._inflight: list = []
+
+    def post(self, gen: Generator) -> Generator:
+        """Launch ``gen`` as a process once a window slot frees up."""
+        self._inflight = [p for p in self._inflight if p.is_alive]
+        while len(self._inflight) >= self.limit:
+            yield self.env.any_of(self._inflight)
+            self._inflight = [p for p in self._inflight if p.is_alive]
+        self._inflight.append(self.env.process(gen))
+
+    def drain(self) -> Generator:
+        """Wait for every posted send to finish."""
+        alive = [p for p in self._inflight if p.is_alive]
+        if alive:
+            yield self.env.all_of(alive)
+        self._inflight.clear()
+
+
+class HPARun:
+    """One fully-wired HPA execution over a simulated cluster."""
+
+    def __init__(self, db: TransactionDatabase, config: HPAConfig) -> None:
+        if len(db) < config.n_app_nodes:
+            raise MiningError("fewer transactions than application nodes")
+        self.db = db
+        self.config = config
+        self.env = Environment()
+        n_total = config.n_app_nodes + config.n_memory_nodes
+        self.cluster = Cluster(self.env, n_total)
+        if config.loss_probability > 0.0:
+            self.cluster.network.loss_probability = config.loss_probability
+        self.app_ids = list(range(config.n_app_nodes))
+        self.mem_ids = list(range(config.n_app_nodes, n_total))
+        self.partitioner = HashPartitioner(config.total_lines, config.n_app_nodes)
+        self.partitions = db.partition(config.n_app_nodes)
+        self.minsup_count = max(1, int(math.ceil(config.minsup * len(db))))
+
+        cost = config.cost
+        self.stores: dict[int, RemoteStore] = {}
+        self.monitors: dict[int, MemoryMonitor] = {}
+        self.clients: dict[int, MonitorClient] = {}
+        if config.n_memory_nodes > 0:
+            for m in self.mem_ids:
+                self.stores[m] = RemoteStore(self.cluster[m])
+                self.monitors[m] = MemoryMonitor(
+                    self.cluster[m], self.cluster.transport, self.app_ids, cost,
+                    interval_s=config.monitor_interval_s,
+                )
+            for a in self.app_ids:
+                self.clients[a] = MonitorClient(self.cluster[a], self.cluster.transport)
+
+        self.managers: dict[int, SwapManager] = {}
+        self.pagers: dict[int, object] = {}
+        memory_nodes = {m: self.cluster[m] for m in self.mem_ids}
+        for a in self.app_ids:
+            table = MemoryManagementTable()
+            pager = None
+            if config.pager == "disk":
+                pager = DiskPager(self.cluster[a], table, cost)
+            elif config.pager in ("remote", "remote-update"):
+                cls = RemoteMemoryPager if config.pager == "remote" else RemoteUpdatePager
+                fallback = (
+                    DiskPager(self.cluster[a], table, cost)
+                    if config.disk_fallback
+                    else None
+                )
+                pager = cls(
+                    self.cluster[a], table, cost, self.cluster.network,
+                    self.clients[a], make_placement(config.placement),
+                    self.stores, memory_nodes, fallback=fallback,
+                )
+            self.pagers[a] = pager
+            self.managers[a] = SwapManager(
+                self.cluster[a],
+                limit_bytes=config.memory_limit_bytes,
+                pager=pager,
+                policy=make_policy(config.replacement, seed=config.seed),
+                cost=cost,
+            )
+            # Shortage broadcasts trigger the migration mechanism.
+            if pager is not None and a in self.clients:
+                self.clients[a].shortage_handlers.append(pager.migrate_from)
+
+        self.result: Optional[HPAResult] = None
+        #: Optional list of (virtual_time, mem_node_id) shortage signals
+        #: injected during the run (Figure 5's experiment).
+        self.shortage_schedule: list[tuple[float, int]] = []
+        #: Instrumentation (populated by :meth:`enable_instrumentation`).
+        self.trace: Optional[TraceCollector] = None
+        self.sampler: Optional[UtilizationSampler] = None
+
+    def enable_instrumentation(
+        self, sample_interval_s: Optional[float] = None
+    ) -> TraceCollector:
+        """Attach a :class:`TraceCollector` (and optionally a periodic
+        :class:`UtilizationSampler`) to this run.
+
+        Pager events (faults, swap-outs, migrations) and phase boundaries
+        are recorded; call before :meth:`run`.
+        """
+        self.trace = TraceCollector(self.env)
+        for pager in self.pagers.values():
+            if pager is not None:
+                pager.on_event = self.trace.record_hook()
+        if sample_interval_s is not None:
+            self.sampler = UtilizationSampler(self.cluster, sample_interval_s)
+        return self.trace
+
+    def _trace_phase(self, name: str) -> None:
+        if self.trace is not None:
+            self.trace.record(-1, "phase", name)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> HPAResult:
+        """Execute to completion and return the mining result.
+
+        A run object is single-use: the simulated cluster's state is
+        consumed by the execution.
+        """
+        if self.result is not None:
+            raise MiningError("this run has already executed; build a new one")
+        for c in self.clients.values():
+            c.start()
+        for m in self.monitors.values():
+            m.start()
+        if self.sampler is not None:
+            self.sampler.start()
+        for t, node_id in self.shortage_schedule:
+            self.env.process(self._shortage_injector(t, node_id))
+        main = self.env.process(self._main())
+        self.env.run(until=main)
+        for m in self.monitors.values():
+            m.stop()
+        for c in self.clients.values():
+            c.stop()
+        if self.sampler is not None:
+            self.sampler.snapshot()
+            self.sampler.stop()
+        assert self.result is not None
+        return self.result
+
+    # -- orchestration ---------------------------------------------------------
+
+    def _shortage_injector(self, at: float, node_id: int) -> Generator:
+        yield self.env.timeout(at)
+        if node_id not in self.monitors:
+            raise MiningError(f"node {node_id} is not a memory-available node")
+        self.monitors[node_id].signal_shortage()
+
+    def _barrier(self, generators: list[Generator]) -> Generator:
+        procs = [self.env.process(g) for g in generators]
+        yield self.env.all_of(procs)
+        return [p.value for p in procs]
+
+    def _main(self) -> Generator:
+        cfg = self.config
+        start = self.env.now
+        passes: list[HPAPassResult] = []
+        all_large: dict[Itemset, int] = {}
+
+        # If monitors exist, give the first availability broadcast time to
+        # land before any swapping can be needed (the paper's monitors run
+        # from machine boot; ours start with the run).
+        if self.monitors:
+            yield self.env.timeout(2 * cfg.cost.monitor_cpu_per_message_s * len(self.app_ids) + 2e-3)
+
+        # ---- pass 1 ----
+        t0 = self.env.now
+        local_counts = yield from self._barrier(
+            [self._pass1_node(a) for a in self.app_ids]
+        )
+        global_counts = np.sum(local_counts, axis=0)
+        large_items = np.nonzero(global_counts >= self.minsup_count)[0]
+        l_prev: dict[Itemset, int] = {
+            (int(i),): int(global_counts[i]) for i in large_items
+        }
+        all_large.update(l_prev)
+        passes.append(
+            HPAPassResult(
+                k=1,
+                n_candidates=self.db.n_items,
+                per_node_candidates=[],
+                n_large=len(l_prev),
+                start_time=t0,
+                end_time=self.env.now,
+            )
+        )
+
+        # ---- passes k >= 2 ----
+        k = 2
+        while l_prev and (cfg.max_k <= 0 or k <= cfg.max_k):
+            pass_result, l_now = yield from self._run_pass(k, l_prev)
+            passes.append(pass_result)
+            all_large.update(l_now)
+            if pass_result.n_candidates == 0:
+                break
+            l_prev = l_now
+            k += 1
+
+        self.result = HPAResult(
+            config=cfg,
+            large_itemsets=all_large,
+            passes=passes,
+            total_time_s=self.env.now - start,
+        )
+        return None
+
+    def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
+        cfg = self.config
+        t0 = self.env.now
+        self._trace_phase(f"pass {k} start")
+
+        # Generate the candidate set once (every node computes it in the
+        # real system; we charge each node's CPU but share the Python
+        # object).
+        candidates = generate_candidates(sorted(l_prev), k)
+
+        # HPA-ELD: duplicate the candidates with the highest estimated
+        # frequency on every node; they are counted locally and never
+        # routed, removing the heaviest share of itemset traffic.
+        dup_set: set[Itemset] = set()
+        if cfg.eld_fraction > 0 and candidates:
+            n_dup = int(cfg.eld_fraction * len(candidates))
+            if n_dup:
+                ranked = sorted(
+                    candidates,
+                    key=lambda c: min(
+                        l_prev.get(sub, 0) for sub in combinations(c, k - 1)
+                    ),
+                    reverse=True,
+                )
+                dup_set = set(ranked[:n_dup])
+
+        per_node_cands = [0] * cfg.n_app_nodes
+        node_candidates: list[list[tuple[Itemset, int]]] = [
+            [] for _ in range(cfg.n_app_nodes)
+        ]
+        for cand in candidates:
+            if cand in dup_set:
+                continue
+            line = self.partitioner.line_of(cand)
+            owner = self.partitioner.node_of_line(line)
+            per_node_cands[owner] += 1
+            node_candidates[owner].append((cand, line))
+        dup_counts: list[dict[Itemset, int]] = [
+            dict.fromkeys(dup_set, 0) for _ in range(cfg.n_app_nodes)
+        ]
+
+        stats_before = {
+            a: self._pager_snapshot(a) for a in self.app_ids
+        }
+
+        # Phase 1: candidate generation + insertion.
+        yield from self._barrier(
+            [
+                self._candgen_node(
+                    a, len(candidates), node_candidates[a], len(dup_set)
+                )
+                for a in self.app_ids
+            ]
+        )
+        t_candgen = self.env.now
+        self._trace_phase(f"pass {k} candidates generated")
+
+        if not candidates:
+            return (
+                HPAPassResult(
+                    k=k,
+                    n_candidates=0,
+                    per_node_candidates=per_node_cands,
+                    n_large=0,
+                    start_time=t0,
+                    end_time=self.env.now,
+                    candgen_time_s=t_candgen - t0,
+                ),
+                {},
+            )
+
+        # Phase 2: counting.
+        l_prev_keys = set(l_prev)
+        l1_mask = self._l1_mask(l_prev) if k == 2 else None
+        counting = []
+        for a in self.app_ids:
+            counting.append(self._receiver_node(a, k))
+            counting.append(
+                self._sender_node(a, k, l_prev_keys, l1_mask, dup_counts[a])
+            )
+        outcomes = yield from self._barrier(counting)
+        n_count_messages = sum(v for v in outcomes if isinstance(v, int))
+        # Settle outstanding update messages before reading counts.
+        yield from self._barrier([self.managers[a].drain() for a in self.app_ids])
+        t_count = self.env.now
+        self._trace_phase(f"pass {k} counting done")
+
+        # Phase 3: determination (+ the ELD all-reduce of duplicated
+        # candidates' partial counts, when the variant is enabled).
+        local_larges = yield from self._barrier(
+            [self._determine_node(a) for a in self.app_ids]
+        )
+        l_now: dict[Itemset, int] = {}
+        for chunk in local_larges:
+            l_now.update(chunk)
+        if dup_set:
+            merged = yield from self._reduce_duplicated(dup_counts)
+            for itemset, count in merged.items():
+                if count >= self.minsup_count:
+                    l_now[itemset] = count
+        t_det = self.env.now
+
+        stats_after = {a: self._pager_snapshot(a) for a in self.app_ids}
+        delta = {
+            a: tuple(after - before for after, before in zip(stats_after[a], stats_before[a]))
+            for a in self.app_ids
+        }
+
+        # Per-pass cleanup: hash tables, guest stores.
+        for a in self.app_ids:
+            self.managers[a].reset_pass()
+        for store in self.stores.values():
+            store.clear()
+
+        return (
+            HPAPassResult(
+                k=k,
+                n_candidates=len(candidates),
+                per_node_candidates=per_node_cands,
+                n_large=len(l_now),
+                start_time=t0,
+                end_time=self.env.now,
+                candgen_time_s=t_candgen - t0,
+                counting_time_s=t_count - t_candgen,
+                determine_time_s=t_det - t_count,
+                faults_per_node=[delta[a][0] for a in self.app_ids],
+                swap_outs_per_node=[delta[a][1] for a in self.app_ids],
+                update_msgs_per_node=[delta[a][2] for a in self.app_ids],
+                fault_time_per_node=[delta[a][3] for a in self.app_ids],
+                n_duplicated=len(dup_set),
+                count_messages=n_count_messages,
+            ),
+            l_now,
+        )
+
+    def _reduce_duplicated(self, dup_counts: "list[dict[Itemset, int]]") -> Generator:
+        """ELD all-reduce: fold every node's duplicated-candidate partial
+        counts into global counts (gather at node 0, merge, broadcast)."""
+        cost = self.config.cost
+        n_dup = len(dup_counts[0])
+        vec_bytes = max(16, 28 * n_dup)
+
+        def gather(a: int) -> Generator:
+            yield from self.cluster.transport.send(a, 0, "eldgather", None, vec_bytes)
+
+        def collect() -> Generator:
+            for _ in range(len(self.app_ids) - 1):
+                yield self.cluster.transport.recv(0, "eldgather")
+            yield from self.cluster[0].compute(
+                cost.cpu_count_per_itemset_s * n_dup * len(self.app_ids)
+            )
+            window = _SendWindow(self.env, self.config.send_window)
+            for b in self.app_ids[1:]:
+                yield from window.post(
+                    self.cluster.transport.send(0, b, "eldlarge", None, vec_bytes)
+                )
+            yield from window.drain()
+
+        def receive_result(a: int) -> Generator:
+            yield self.cluster.transport.recv(a, "eldlarge")
+
+        procs = [collect()] if len(self.app_ids) > 1 else []
+        procs += [gather(a) for a in self.app_ids[1:]]
+        procs += [receive_result(a) for a in self.app_ids[1:]]
+        if procs:
+            yield from self._barrier(procs)
+        merged: dict[Itemset, int] = {}
+        for counts in dup_counts:
+            for itemset, c in counts.items():
+                merged[itemset] = merged.get(itemset, 0) + c
+        return merged
+
+    def _pager_snapshot(self, a: int) -> tuple:
+        pager = self.pagers[a]
+        if pager is None:
+            return (0, 0, 0, 0.0)
+        s = pager.stats
+        return (s.faults, s.swap_outs, s.update_messages, s.fault_time_s)
+
+    def _l1_mask(self, l_prev: dict[Itemset, int]) -> np.ndarray:
+        mask = np.zeros(self.db.n_items, dtype=bool)
+        for itemset in l_prev:
+            mask[itemset[0]] = True
+        return mask
+
+    # -- per-node phase processes ----------------------------------------------
+
+    def _scan_blocks(self, a: int) -> Generator:
+        """Sequential disk scan of the local partition, yielding per-block
+        transaction index ranges."""
+        part = self.partitions[a]
+        node = self.cluster[a]
+        cost = self.config.cost
+        block_bytes = cost.disk_io_block_bytes
+        n = len(part)
+        if n == 0:
+            return []
+        avg_txn_bytes = max(1.0, part.size_bytes() / n)
+        txns_per_block = max(1, int(block_bytes / avg_txn_bytes))
+        ranges = []
+        i = 0
+        while i < n:
+            j = min(n, i + txns_per_block)
+            yield from node.data_disk.read(block_bytes, sequential=True)
+            ranges.append((i, j))
+            i = j
+        return ranges
+
+    def _pass1_node(self, a: int) -> Generator:
+        """Scan the partition, count items, exchange count vectors."""
+        part = self.partitions[a]
+        node = self.cluster[a]
+        cost = self.config.cost
+        # Disk scan + per-item CPU.
+        blocks = yield from self._scan_blocks(a)
+        yield from node.compute(cost.cpu_count_per_itemset_s * part.total_items)
+        counts = part.item_counts()
+        # Exchange: send the count vector to every other application node.
+        window = _SendWindow(self.env, self.config.send_window)
+        vec_bytes = 4 * self.db.n_items
+        for b in self.app_ids:
+            if b == a:
+                continue
+            yield from window.post(
+                self.cluster.transport.send(a, b, "pass1", None, vec_bytes)
+            )
+        yield from window.drain()
+        # Receive the other nodes' vectors (timing only; the orchestrator
+        # sums the real vectors).
+        for _ in range(len(self.app_ids) - 1):
+            yield self.cluster.transport.recv(a, "pass1")
+        return counts
+
+    def _candgen_node(
+        self, a: int, n_total_candidates: int, owned, n_duplicated: int = 0
+    ) -> Generator:
+        """Generate all candidates (CPU), insert the owned ones.
+
+        Duplicated (ELD) candidates live outside the hash table but their
+        footprint still counts against the node's memory-usage limit.
+        """
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        mgr.pinned_bytes = ITEMSET_BYTES * n_duplicated
+        if n_total_candidates:
+            yield from node.compute(
+                cost.cpu_candgen_per_candidate_s * n_total_candidates
+            )
+        inserted = 0
+        for itemset, line in owned:
+            op = mgr.insert_candidate(itemset, line)
+            if op is not None:
+                yield from op
+            inserted += 1
+            if inserted % _CPU_CHUNK == 0:
+                yield from node.compute(
+                    cost.cpu_count_per_itemset_s * _CPU_CHUNK
+                )
+        if inserted % _CPU_CHUNK:
+            yield from node.compute(
+                cost.cpu_count_per_itemset_s * (inserted % _CPU_CHUNK)
+            )
+
+    def _sender_node(
+        self, a: int, k: int, l_prev_keys: set, l1_mask, dup_counts=None
+    ) -> Generator:
+        """Scan transactions, route k-subsets, count local ones inline.
+
+        Returns the number of count messages this sender shipped.
+        """
+        dup_counts = dup_counts if dup_counts is not None else {}
+        n_messages = 0
+        part = self.partitions[a]
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        window = _SendWindow(self.env, self.config.send_window)
+        items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
+        buffers: dict[int, list] = {b: [] for b in self.app_ids if b != a}
+
+        n = len(part)
+        avg_txn_bytes = max(1.0, part.size_bytes() / max(1, n))
+        txns_per_block = max(1, int(cost.disk_io_block_bytes / avg_txn_bytes))
+
+        i = 0
+        while i < n:
+            j = min(n, i + txns_per_block)
+            yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
+            generated = 0
+            local_counted = 0
+            for t in range(i, j):
+                txn = part[t]
+                if k == 2:
+                    filtered = txn[l1_mask[txn]]
+                    subsets = combinations(filtered.tolist(), 2)
+                else:
+                    subsets = (
+                        s
+                        for s in combinations(txn.tolist(), k)
+                        if all(
+                            sub in l_prev_keys for sub in combinations(s, k - 1)
+                        )
+                    )
+                for itemset in subsets:
+                    generated += 1
+                    if itemset in dup_counts:
+                        dup_counts[itemset] += 1
+                        local_counted += 1
+                        continue
+                    line = self.partitioner.line_of(itemset)
+                    owner = self.partitioner.node_of_line(line)
+                    if owner == a:
+                        op = mgr.count_itemset(itemset, line)
+                        if op is not None:
+                            yield from op
+                        local_counted += 1
+                    else:
+                        buf = buffers[owner]
+                        buf.append(itemset)
+                        if len(buf) >= items_per_msg:
+                            buffers[owner] = []
+                            n_messages += 1
+                            yield from window.post(
+                                self.cluster.transport.send(
+                                    a, owner, "count", buf,
+                                    cost.message_block_bytes,
+                                )
+                            )
+            cpu = (
+                cost.cpu_generate_per_itemset_s * generated
+                + cost.cpu_count_per_itemset_s * local_counted
+            )
+            if cpu > 0:
+                yield from node.compute(cpu)
+            i = j
+
+        # Flush partial buffers and close streams.
+        for b, buf in buffers.items():
+            if buf:
+                n_messages += 1
+                yield from window.post(
+                    self.cluster.transport.send(
+                        a, b, "count", buf, ITEMSET_BYTES * len(buf)
+                    )
+                )
+        for b in buffers:
+            yield from window.post(
+                self.cluster.transport.send(a, b, "count", _EOF, 16)
+            )
+        yield from window.drain()
+        return n_messages
+
+    def _receiver_node(self, a: int, k: int) -> Generator:
+        """Count itemsets arriving from the other nodes' senders."""
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        transport = self.cluster.transport
+        remaining_eofs = len(self.app_ids) - 1
+        while remaining_eofs > 0:
+            msg = yield transport.recv(a, "count")
+            if msg.payload == _EOF:
+                remaining_eofs -= 1
+                continue
+            items = msg.payload
+            yield from node.compute(
+                cost.cpu_per_message_s + cost.cpu_count_per_itemset_s * len(items)
+            )
+            for itemset in items:
+                line = self.partitioner.line_of(itemset)
+                op = mgr.count_itemset(itemset, line)
+                if op is not None:
+                    yield from op
+
+    def _determine_node(self, a: int) -> Generator:
+        """Find locally large itemsets and broadcast them."""
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        lines = yield from mgr.iter_all_lines()
+        local_large: dict[Itemset, int] = {}
+        n_scanned = 0
+        for line in lines:
+            for itemset, count in line.counts.items():
+                n_scanned += 1
+                if count >= self.minsup_count:
+                    local_large[itemset] = count
+        if n_scanned:
+            yield from node.compute(cost.cpu_determine_per_itemset_s * n_scanned)
+        # Broadcast local large itemsets to the other application nodes.
+        window = _SendWindow(self.env, self.config.send_window)
+        payload_bytes = max(16, ITEMSET_BYTES * len(local_large))
+        for b in self.app_ids:
+            if b == a:
+                continue
+            yield from window.post(
+                self.cluster.transport.send(a, b, "large", None, payload_bytes)
+            )
+        yield from window.drain()
+        for _ in range(len(self.app_ids) - 1):
+            yield self.cluster.transport.recv(a, "large")
+        return local_large
+
+
+def run_hpa(db: TransactionDatabase, config: HPAConfig) -> HPAResult:
+    """Convenience wrapper: build an :class:`HPARun` and execute it."""
+    return HPARun(db, config).run()

@@ -1,0 +1,430 @@
+"""NPA — Non-Partitioned Apriori, the baseline HPA improves upon.
+
+In NPA (Shintani & Kitsuregawa, the paper's reference [9]) every node
+holds the *entire* candidate hash table and counts only its local
+transactions against it; a global reduction then sums the per-node
+counts.  Counting needs no itemset communication at all — but each node
+needs memory for the whole candidate set, where HPA needs only 1/n of
+it ("HPA effectively utilizes the whole memory space of all the
+processors", §2.2).  Under a per-node memory-usage limit this is
+exactly the regime where the remote-memory machinery earns its keep, so
+NPA doubles as the stress baseline for the swap manager.
+
+The swap manager, pagers, monitors and migration mechanism are shared
+with HPA unchanged; NPA differs only in candidate placement (everyone
+owns every line) and in its counting/reduction phases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.analysis.cost_model import CostModel, PAPER_COSTS
+from repro.cluster import Cluster
+from repro.core import (
+    DiskPager,
+    MemoryManagementTable,
+    MemoryMonitor,
+    MonitorClient,
+    RemoteMemoryPager,
+    RemoteStore,
+    RemoteUpdatePager,
+    SwapManager,
+)
+from repro.core.placement import make_placement
+from repro.core.policies import make_policy
+from repro.datagen.corpus import TransactionDatabase
+from repro.errors import MiningError
+from repro.mining.candidates import generate_candidates
+from repro.mining.hpa import HPAConfig, HPAPassResult, HPAResult, _SendWindow
+from repro.mining.itemsets import ITEMSET_BYTES, Itemset, itemset_hash
+from repro.sim import Environment
+
+__all__ = ["NPAConfig", "NPARun", "run_npa"]
+
+_CPU_CHUNK = 512
+
+
+@dataclass(frozen=True)
+class NPAConfig(HPAConfig):
+    """NPA accepts HPA's knobs (``eld_fraction`` is meaningless and must
+    stay 0 — NPA already duplicates *everything*)."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.eld_fraction != 0.0:
+            raise MiningError("NPA duplicates all candidates; eld_fraction must be 0")
+
+
+class NPARun:
+    """One NPA execution over the simulated cluster."""
+
+    def __init__(self, db: TransactionDatabase, config: NPAConfig) -> None:
+        if len(db) < config.n_app_nodes:
+            raise MiningError("fewer transactions than application nodes")
+        self.db = db
+        self.config = config
+        self.env = Environment()
+        n_total = config.n_app_nodes + config.n_memory_nodes
+        self.cluster = Cluster(self.env, n_total)
+        if config.loss_probability > 0.0:
+            self.cluster.network.loss_probability = config.loss_probability
+        self.app_ids = list(range(config.n_app_nodes))
+        self.mem_ids = list(range(config.n_app_nodes, n_total))
+        self.partitions = db.partition(config.n_app_nodes)
+        self.minsup_count = max(1, int(math.ceil(config.minsup * len(db))))
+
+        cost = config.cost
+        self.stores: dict[int, RemoteStore] = {}
+        self.monitors: dict[int, MemoryMonitor] = {}
+        self.clients: dict[int, MonitorClient] = {}
+        if config.n_memory_nodes > 0:
+            for m in self.mem_ids:
+                self.stores[m] = RemoteStore(self.cluster[m])
+                self.monitors[m] = MemoryMonitor(
+                    self.cluster[m], self.cluster.transport, self.app_ids, cost,
+                    interval_s=config.monitor_interval_s,
+                )
+            for a in self.app_ids:
+                self.clients[a] = MonitorClient(self.cluster[a], self.cluster.transport)
+
+        self.managers: dict[int, SwapManager] = {}
+        self.pagers: dict[int, object] = {}
+        memory_nodes = {m: self.cluster[m] for m in self.mem_ids}
+        for a in self.app_ids:
+            table = MemoryManagementTable()
+            pager = None
+            if config.pager == "disk":
+                pager = DiskPager(self.cluster[a], table, cost)
+            elif config.pager in ("remote", "remote-update"):
+                cls = RemoteMemoryPager if config.pager == "remote" else RemoteUpdatePager
+                fallback = (
+                    DiskPager(self.cluster[a], table, cost)
+                    if config.disk_fallback
+                    else None
+                )
+                pager = cls(
+                    self.cluster[a], table, cost, self.cluster.network,
+                    self.clients[a], make_placement(config.placement),
+                    self.stores, memory_nodes, fallback=fallback,
+                )
+            self.pagers[a] = pager
+            self.managers[a] = SwapManager(
+                self.cluster[a],
+                limit_bytes=config.memory_limit_bytes,
+                pager=pager,
+                policy=make_policy(config.replacement, seed=config.seed),
+                cost=cost,
+            )
+            if pager is not None and a in self.clients:
+                self.clients[a].shortage_handlers.append(pager.migrate_from)
+
+        self.result: Optional[HPAResult] = None
+        self.shortage_schedule: list[tuple[float, int]] = []
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> HPAResult:
+        """Execute to completion; result type is shared with HPA.
+
+        A run object is single-use: the simulated cluster's state is
+        consumed by the execution.
+        """
+        if self.result is not None:
+            raise MiningError("this run has already executed; build a new one")
+        for c in self.clients.values():
+            c.start()
+        for m in self.monitors.values():
+            m.start()
+        for t, node_id in self.shortage_schedule:
+            self.env.process(self._shortage_injector(t, node_id))
+        main = self.env.process(self._main())
+        self.env.run(until=main)
+        for m in self.monitors.values():
+            m.stop()
+        for c in self.clients.values():
+            c.stop()
+        assert self.result is not None
+        return self.result
+
+    def _shortage_injector(self, at: float, node_id: int) -> Generator:
+        yield self.env.timeout(at)
+        self.monitors[node_id].signal_shortage()
+
+    def _barrier(self, generators: list[Generator]) -> Generator:
+        procs = [self.env.process(g) for g in generators]
+        yield self.env.all_of(procs)
+        return [p.value for p in procs]
+
+    def _line_of(self, itemset: Itemset) -> int:
+        return itemset_hash(itemset) % self.config.total_lines
+
+    # -- orchestration ---------------------------------------------------------
+
+    def _main(self) -> Generator:
+        cfg = self.config
+        start = self.env.now
+        passes: list[HPAPassResult] = []
+        all_large: dict[Itemset, int] = {}
+
+        if self.monitors:
+            yield self.env.timeout(
+                2 * cfg.cost.monitor_cpu_per_message_s * len(self.app_ids) + 2e-3
+            )
+
+        # Pass 1 is identical in NPA and HPA: local item counts, exchange.
+        t0 = self.env.now
+        local_counts = yield from self._barrier(
+            [self._pass1_node(a) for a in self.app_ids]
+        )
+        global_counts = np.sum(local_counts, axis=0)
+        large_items = np.nonzero(global_counts >= self.minsup_count)[0]
+        l_prev: dict[Itemset, int] = {
+            (int(i),): int(global_counts[i]) for i in large_items
+        }
+        all_large.update(l_prev)
+        passes.append(
+            HPAPassResult(
+                k=1, n_candidates=self.db.n_items, per_node_candidates=[],
+                n_large=len(l_prev), start_time=t0, end_time=self.env.now,
+            )
+        )
+
+        k = 2
+        while l_prev and (cfg.max_k <= 0 or k <= cfg.max_k):
+            pass_result, l_now = yield from self._run_pass(k, l_prev)
+            passes.append(pass_result)
+            all_large.update(l_now)
+            if pass_result.n_candidates == 0:
+                break
+            l_prev = l_now
+            k += 1
+
+        self.result = HPAResult(
+            config=cfg,
+            large_itemsets=all_large,
+            passes=passes,
+            total_time_s=self.env.now - start,
+        )
+        return None
+
+    def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
+        cfg = self.config
+        t0 = self.env.now
+        candidates = generate_candidates(sorted(l_prev), k)
+        with_lines = [(c, self._line_of(c)) for c in candidates]
+
+        stats_before = {a: self._pager_snapshot(a) for a in self.app_ids}
+
+        # Phase 1: EVERY node inserts EVERY candidate (the defining cost).
+        yield from self._barrier(
+            [self._candgen_node(a, with_lines) for a in self.app_ids]
+        )
+        t_candgen = self.env.now
+
+        if not candidates:
+            return (
+                HPAPassResult(
+                    k=k, n_candidates=0,
+                    per_node_candidates=[0] * cfg.n_app_nodes, n_large=0,
+                    start_time=t0, end_time=self.env.now,
+                    candgen_time_s=t_candgen - t0,
+                ),
+                {},
+            )
+
+        # Phase 2: purely local counting.
+        l_prev_keys = set(l_prev)
+        l1_mask = None
+        if k == 2:
+            l1_mask = np.zeros(self.db.n_items, dtype=bool)
+            for itemset in l_prev:
+                l1_mask[itemset[0]] = True
+        yield from self._barrier(
+            [self._count_node(a, k, l_prev_keys, l1_mask) for a in self.app_ids]
+        )
+        yield from self._barrier([self.managers[a].drain() for a in self.app_ids])
+        t_count = self.env.now
+
+        # Phase 3: global reduction of the full count tables.
+        merged = yield from self._reduce(len(candidates))
+        l_now = {i: c for i, c in merged.items() if c >= self.minsup_count}
+        t_det = self.env.now
+
+        stats_after = {a: self._pager_snapshot(a) for a in self.app_ids}
+        delta = {
+            a: tuple(x - y for x, y in zip(stats_after[a], stats_before[a]))
+            for a in self.app_ids
+        }
+
+        for a in self.app_ids:
+            self.managers[a].reset_pass()
+        for store in self.stores.values():
+            store.clear()
+
+        return (
+            HPAPassResult(
+                k=k,
+                n_candidates=len(candidates),
+                # NPA duplicates the full set everywhere.
+                per_node_candidates=[len(candidates)] * cfg.n_app_nodes,
+                n_large=len(l_now),
+                start_time=t0,
+                end_time=self.env.now,
+                candgen_time_s=t_candgen - t0,
+                counting_time_s=t_count - t_candgen,
+                determine_time_s=t_det - t_count,
+                faults_per_node=[delta[a][0] for a in self.app_ids],
+                swap_outs_per_node=[delta[a][1] for a in self.app_ids],
+                update_msgs_per_node=[delta[a][2] for a in self.app_ids],
+                fault_time_per_node=[delta[a][3] for a in self.app_ids],
+                n_duplicated=len(candidates),
+                count_messages=0,
+            ),
+            l_now,
+        )
+
+    def _pager_snapshot(self, a: int) -> tuple:
+        pager = self.pagers[a]
+        if pager is None:
+            return (0, 0, 0, 0.0)
+        s = pager.stats
+        return (s.faults, s.swap_outs, s.update_messages, s.fault_time_s)
+
+    # -- per-node phases ----------------------------------------------------
+
+    def _pass1_node(self, a: int) -> Generator:
+        part = self.partitions[a]
+        node = self.cluster[a]
+        cost = self.config.cost
+        n = len(part)
+        if n:
+            avg = max(1.0, part.size_bytes() / n)
+            per_block = max(1, int(cost.disk_io_block_bytes / avg))
+            for _ in range(0, n, per_block):
+                yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
+            yield from node.compute(cost.cpu_count_per_itemset_s * part.total_items)
+        counts = part.item_counts()
+        window = _SendWindow(self.env, self.config.send_window)
+        vec_bytes = 4 * self.db.n_items
+        for b in self.app_ids:
+            if b != a:
+                yield from window.post(
+                    self.cluster.transport.send(a, b, "npa-pass1", None, vec_bytes)
+                )
+        yield from window.drain()
+        for _ in range(len(self.app_ids) - 1):
+            yield self.cluster.transport.recv(a, "npa-pass1")
+        return counts
+
+    def _candgen_node(self, a: int, with_lines) -> Generator:
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        if with_lines:
+            yield from node.compute(
+                cost.cpu_candgen_per_candidate_s * len(with_lines)
+            )
+        inserted = 0
+        for itemset, line in with_lines:
+            op = mgr.insert_candidate(itemset, line)
+            if op is not None:
+                yield from op
+            inserted += 1
+            if inserted % _CPU_CHUNK == 0:
+                yield from node.compute(cost.cpu_count_per_itemset_s * _CPU_CHUNK)
+        if inserted % _CPU_CHUNK:
+            yield from node.compute(
+                cost.cpu_count_per_itemset_s * (inserted % _CPU_CHUNK)
+            )
+
+    def _count_node(self, a: int, k: int, l_prev_keys: set, l1_mask) -> Generator:
+        part = self.partitions[a]
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        n = len(part)
+        avg = max(1.0, part.size_bytes() / max(1, n))
+        per_block = max(1, int(cost.disk_io_block_bytes / avg))
+        i = 0
+        while i < n:
+            j = min(n, i + per_block)
+            yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
+            counted = 0
+            for t in range(i, j):
+                txn = part[t]
+                if k == 2:
+                    subsets = combinations(txn[l1_mask[txn]].tolist(), 2)
+                else:
+                    subsets = (
+                        s
+                        for s in combinations(txn.tolist(), k)
+                        if all(sub in l_prev_keys for sub in combinations(s, k - 1))
+                    )
+                for itemset in subsets:
+                    counted += 1
+                    op = mgr.count_itemset(itemset, self._line_of(itemset))
+                    if op is not None:
+                        yield from op
+            if counted:
+                yield from node.compute(
+                    (cost.cpu_generate_per_itemset_s + cost.cpu_count_per_itemset_s)
+                    * counted
+                )
+            i = j
+
+    def _reduce(self, n_candidates: int) -> Generator:
+        """Gather every node's full count table at node 0, merge, broadcast.
+
+        The table is large (28 B per candidate), which is NPA's second
+        structural cost next to the duplicated memory.
+        """
+        cost = self.config.cost
+        vec_bytes = max(16, 28 * n_candidates)
+
+        def send_table(a: int) -> Generator:
+            yield from self.cluster.transport.send(a, 0, "npa-reduce", None, vec_bytes)
+
+        def coordinate() -> Generator:
+            for _ in range(len(self.app_ids) - 1):
+                yield self.cluster.transport.recv(0, "npa-reduce")
+            yield from self.cluster[0].compute(
+                cost.cpu_count_per_itemset_s * n_candidates * len(self.app_ids)
+            )
+            window = _SendWindow(self.env, self.config.send_window)
+            for b in self.app_ids[1:]:
+                yield from window.post(
+                    self.cluster.transport.send(0, b, "npa-large", None, vec_bytes)
+                )
+            yield from window.drain()
+
+        def receive(a: int) -> Generator:
+            yield self.cluster.transport.recv(a, "npa-large")
+
+        procs: list[Generator] = []
+        if len(self.app_ids) > 1:
+            procs.append(coordinate())
+            procs += [send_table(a) for a in self.app_ids[1:]]
+            procs += [receive(a) for a in self.app_ids[1:]]
+        if procs:
+            yield from self._barrier(procs)
+
+        # The actual merge (the messages above carried the timing).
+        merged: dict[Itemset, int] = {}
+        for a in self.app_ids:
+            mgr = self.managers[a]
+            lines = yield from mgr.iter_all_lines()
+            for line in lines:
+                for itemset, c in line.counts.items():
+                    merged[itemset] = merged.get(itemset, 0) + c
+        return merged
+
+
+def run_npa(db: TransactionDatabase, config: NPAConfig) -> HPAResult:
+    """Convenience wrapper: build an :class:`NPARun` and execute it."""
+    return NPARun(db, config).run()

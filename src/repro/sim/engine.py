@@ -1,0 +1,152 @@
+"""The simulation environment: virtual clock plus time-ordered event queue.
+
+:class:`Environment` is the entry point of the kernel.  Typical use::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 3.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Iterable, Optional
+
+from repro.errors import EmptySchedule, StopSimulation
+from repro.sim.events import NORMAL, PENDING, AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """Discrete-event execution environment with a floating-point clock.
+
+    Events scheduled at the same time are processed in (priority,
+    insertion-order), making simulations fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- factory helpers -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start ``generator`` as a new process at the current time."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition triggering when every event in ``events`` has triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition triggering when any event in ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling / execution ------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue ``event`` for processing ``delay`` time units from now."""
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`~repro.errors.EmptySchedule` when the queue is empty
+        and re-raises the value of any failed event nobody defused.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Unhandled failure: crash the simulation loudly.
+            exc = event._value
+            assert isinstance(exc, BaseException)
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until the clock reaches it), or an :class:`Event` (run until
+        it is processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed.
+                    return stop_event._value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise ValueError(f"until={at} must lie in the future (now={self._now})")
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                # NORMAL priority: same-time events scheduled earlier still run.
+                self.schedule(stop_event, delay=at - self._now)
+                stop_event.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if stop_event is not None and stop_event._value is PENDING:
+                raise RuntimeError(
+                    "simulation ended before the awaited event was triggered"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        # Propagate the failure of the awaited event to the caller of run().
+        event._defused = True
+        exc = event._value
+        assert isinstance(exc, BaseException)
+        raise exc

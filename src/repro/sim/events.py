@@ -1,0 +1,287 @@
+"""Core event types for the discrete-event simulation kernel.
+
+The kernel follows the classic SimPy architecture: an
+:class:`~repro.sim.engine.Environment` owns a time-ordered event queue;
+:class:`Event` objects are one-shot promises with callback lists;
+processes (generator coroutines, see :mod:`repro.sim.process`) advance by
+yielding events and are resumed when those events are processed.
+
+Only the pieces the cluster substrate needs are implemented, but they are
+implemented completely: success/failure values, condition events
+(:class:`AllOf` / :class:`AnyOf`), and defusing of failed events so an
+exception observed by a waiting process is not re-raised by the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "ConditionValue",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]
+
+
+class _Pending:
+    """Sentinel for "this event has not been triggered yet"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+#: Sentinel value stored in an event before it is triggered.
+PENDING = _Pending()
+
+#: Scheduling priority for events that must run before same-time normal events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event moves through three states: *pending* (just created),
+    *triggered* (given a value and scheduled), and *processed* (its
+    callbacks have run).  Events may succeed with a value or fail with an
+    exception; a failed event re-raises inside every process waiting on it.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks invoked (with the event) when the event is processed.
+        #: Set to ``None`` once processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: object = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has a value and is scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (meaningless before triggering)."""
+        return self._ok
+
+    @property
+    def defused(self) -> bool:
+        """``True`` if a failure was absorbed by a waiting process."""
+        return self._defused
+
+    @property
+    def value(self) -> object:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        Returns the event so calls can be chained/scheduled inline.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception`` raised."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the state of ``event`` onto this event and schedule it.
+
+        Used to chain events (e.g. a store's get event adopting the value
+        put by a producer).
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_event, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` units of simulated time after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        """The delay this timeout was created with."""
+        return self._delay
+
+
+class ConditionValue:
+    """Ordered mapping of the events a condition observed to their values.
+
+    Behaves like a read-only dict keyed by the original event objects, in
+    the order the condition listed them.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event) -> object:
+        if key not in self.events:
+            raise KeyError(key)
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def keys(self):
+        """The triggered events, in declaration order."""
+        return list(self.events)
+
+    def values(self):
+        """The values of the triggered events, in declaration order."""
+        return [e._value for e in self.events]
+
+    def todict(self) -> dict[Event, object]:
+        """Plain ``dict`` snapshot of event → value."""
+        return {e: e._value for e in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """An event that triggers when a predicate over child events holds.
+
+    Nested conditions flatten their results, mirroring SimPy semantics:
+    the condition's value is a :class:`ConditionValue` of every *leaf*
+    event that has triggered at evaluation time.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+
+        # Check for already-processed children first (immediate conditions).
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self._events and not self.triggered:
+            # Empty condition is immediately true.
+            self.succeed(ConditionValue())
+
+    def _populate_value(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if isinstance(event, Condition):
+                event._populate_value(value)
+            elif event.callbacks is None:
+                # Processed (not merely triggered): a Timeout carries its
+                # value from birth, so "triggered" would over-report.
+                value.events.append(event)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            # A failed child fails the whole condition.
+            event._defused = True
+            self.fail(event._value)  # type: ignore[arg-type]
+        elif self._evaluate(self._events, self._count):
+            value = ConditionValue()
+            self._populate_value(value)
+            self.succeed(value)
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        """Predicate: every child event has triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_event(events: list[Event], count: int) -> bool:
+        """Predicate: at least one child event has triggered."""
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* of ``events`` have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* of ``events`` has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_event, events)

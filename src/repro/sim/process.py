@@ -1,0 +1,148 @@
+"""Process abstraction: generator coroutines driven by the event loop.
+
+A *process* wraps a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  Each time a yielded event is processed the generator is resumed
+with the event's value (or the event's exception is thrown into it).  A
+process is itself an event, triggering when the generator returns, so
+processes can wait on one another simply by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import Interrupt, SimulationError
+from repro.sim.events import NORMAL, PENDING, URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+__all__ = ["Process", "Initialize", "Interruption"]
+
+ProcessGenerator = Generator[Event, object, object]
+
+
+class Initialize(Event):
+    """Urgent event used to start a process at the current simulation time."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Urgent event that throws :class:`~repro.errors.Interrupt` into a process."""
+
+    def __init__(self, process: "Process", cause: object) -> None:
+        super().__init__(process.env)
+        if process.triggered:
+            raise RuntimeError("cannot interrupt a terminated process")
+        if process is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        self.callbacks.append(self._interrupt)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.process = process
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        if self.process.triggered:
+            return  # Process finished before the interrupt was delivered.
+        # Unsubscribe the process from whatever it is waiting for, then
+        # resume it with the failure.
+        target = self.process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self.process._resume)
+            except ValueError:
+                pass
+        self.process._resume(self)
+
+
+class Process(Event):
+    """A running generator coroutine inside an :class:`Environment`.
+
+    The process event triggers with the generator's return value once the
+    generator finishes, or fails with the exception that escaped it.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+        self.name = getattr(generator, "__name__", type(generator).__name__)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (or ``None``)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into this process.
+
+        The interrupt is delivered urgently at the current simulation time.
+        Interrupting a dead process raises :class:`RuntimeError`.
+        """
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome. Kernel-internal."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waiting process observes the failure; mark it
+                    # defused so the kernel will not re-raise it.
+                    event._defused = True
+                    exc = event._value
+                    assert isinstance(exc, BaseException)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Generator finished normally.
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as exc:
+                # Generator died: fail the process event.  If nobody waits
+                # on it the kernel will crash the simulation, which is the
+                # correct default for an unhandled error.
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            # The generator yielded a new event to wait for.
+            if not isinstance(next_event, Event):
+                exc_msg = f"process {self.name!r} yielded a non-event: {next_event!r}"
+                event = Event(self.env)
+                event._ok = False
+                event._value = SimulationError(exc_msg)
+                continue  # deliver the failure immediately
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: loop and deliver its value now.
+            event = next_event
+
+        self.env._active_proc = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'dead'}>"

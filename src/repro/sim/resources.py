@@ -1,0 +1,170 @@
+"""Shared resources with bounded capacity (semaphores with queueing).
+
+:class:`Resource` models anything a process must hold exclusively for a
+while — a CPU, a disk arm, a link transmit slot.  Requests queue in FIFO
+order; :class:`PriorityResource` lets urgent requests jump the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+__all__ = ["Request", "Release", "Resource", "PriorityRequest", "PriorityResource"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Usable as a context manager: leaving the ``with`` block releases the
+    resource (or cancels the request if it never succeeded).
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel() if not self.triggered else self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Release(Event):
+    """Event representing the hand-back of a granted :class:`Request`."""
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.request = request
+        resource._do_release(self)
+
+
+class Resource:
+    """A capacity-``capacity`` semaphore with FIFO queueing.
+
+    Processes claim a unit with ``yield resource.request()`` and return it
+    with ``resource.release(req)`` (or use the request as a context
+    manager).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        """Total number of concurrent holders allowed."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of units currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Create (and possibly immediately grant) a claim on the resource."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Give back a previously granted claim."""
+        return Release(self, request)
+
+    # -- internals --------------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _do_release(self, release: Release) -> None:
+        try:
+            self.users.remove(release.request)
+        except ValueError:
+            raise RuntimeError(
+                f"{release.request!r} was not holding {self!r}"
+            ) from None
+        release.succeed()
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} count={self.count}/{self._capacity} "
+            f"queued={len(self.queue)}>"
+        )
+
+
+class PriorityRequest(Request):
+    """Request carrying a priority; lower values are granted first."""
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        self.time = resource.env.now
+        super().__init__(resource)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is ordered by request priority."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: list[tuple[int, float, int, PriorityRequest]] = []
+        self._tie = count()
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        """Claim the resource with the given priority (lower = sooner)."""
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            heapq.heappush(
+                self._heap, (request.priority, request.time, next(self._tie), request)
+            )
+            self.queue.append(request)  # kept for introspection only
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _, _, _, nxt = heapq.heappop(self._heap)
+            if nxt not in self.queue:
+                continue  # cancelled
+            self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def _cancel(self, request: Request) -> None:
+        # Lazy deletion: remove from the visible queue; the heap entry is
+        # skipped when popped.
+        super()._cancel(request)

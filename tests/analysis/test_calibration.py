@@ -1,0 +1,64 @@
+"""The calibration suite: every simulated primitive must sit within
+tolerance of the paper's measured value.  This is the test that makes
+the substitution argument (simulator for testbed) checkable."""
+
+import pytest
+
+from repro.analysis.calibration import calibration_report, run_calibration
+from repro.cluster.netperf import (
+    measure_disk_access_s,
+    measure_fan_in_factor,
+    measure_rtt_s,
+    measure_throughput_bps,
+)
+from repro.cluster.specs import BARRACUDA_7200
+
+
+def test_all_calibration_checks_pass():
+    checks = run_calibration()
+    failures = [c for c in checks if not c.ok]
+    assert not failures, "; ".join(
+        f"{c.name}: {c.measured:.4g} vs {c.reference:.4g}" for c in failures
+    )
+
+
+def test_calibration_covers_every_paper_constant():
+    names = {c.name for c in run_calibration()}
+    assert any("RTT" in n for n in names)
+    assert any("throughput" in n for n in names)
+    assert any("fan-in" in n for n in names)
+    assert any("Barracuda" in n for n in names)
+    assert any("12000rpm" in n for n in names)
+    assert any("pagefault" in n for n in names)
+
+
+def test_report_renders():
+    text = calibration_report()
+    assert "Calibration" in text
+    assert "paper" in text
+    assert "OUT OF BAND" not in text
+
+
+def test_rtt_scales_with_payload():
+    small = measure_rtt_s(payload_bytes=64)
+    large = measure_rtt_s(payload_bytes=8192)
+    assert large > small
+
+
+def test_throughput_below_raw_line_rate():
+    bps = measure_throughput_bps(n_messages=50)
+    assert bps < 155e6  # protocol overhead keeps us under ATM line rate
+    assert bps > 100e6
+
+
+def test_fan_in_grows_with_senders():
+    two = measure_fan_in_factor(n_senders=2, n_messages=20)
+    four = measure_fan_in_factor(n_senders=4, n_messages=20)
+    assert 1.5 < two < 2.5
+    assert 3.0 < four < 5.0
+
+
+def test_sequential_disk_access_faster():
+    random_t = measure_disk_access_s(BARRACUDA_7200, sequential=False)
+    seq_t = measure_disk_access_s(BARRACUDA_7200, sequential=True)
+    assert seq_t < 0.1 * random_t

@@ -1,0 +1,49 @@
+"""Tests for the text table/series renderers."""
+
+from repro.analysis import render_kv, render_series, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "value"], [("a", 1), ("long-name", 22)])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    widths = {len(l) for l in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_render_table_title():
+    out = render_table(["x"], [(1,)], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_render_table_float_formatting():
+    out = render_table(["v"], [(1234.5678,), (3.14159,), (0.000123,), (0.0,)])
+    assert "1235" in out
+    assert "3.14" in out
+    assert "0.000123" in out
+
+
+def test_render_series_union_of_x():
+    out = render_series(
+        "x",
+        {"a": {1: 10.0, 2: 20.0}, "b": {2: 5.0, 3: 7.0}},
+    )
+    lines = out.splitlines()
+    assert lines[0].split() == ["x", "a", "b"]
+    # x=1 has no 'b' value -> dash.
+    assert "-" in lines[2]
+    assert len(lines) == 2 + 3  # header + rule + three x values
+
+
+def test_render_kv():
+    out = render_kv({"alpha": 1, "b": 2.5}, title="KV")
+    lines = out.splitlines()
+    assert lines[0] == "KV"
+    assert lines[1].startswith("alpha")
+    assert ": 2.5" in lines[2]
+
+
+def test_empty_inputs():
+    assert render_kv({}) == ""
+    out = render_table(["a"], [])
+    assert len(out.splitlines()) == 2

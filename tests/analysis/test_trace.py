@@ -1,0 +1,136 @@
+"""Tests for event tracing and utilization sampling."""
+
+import pytest
+
+from repro.analysis import TraceCollector, UtilizationSampler
+from repro.cluster import Cluster
+from repro.datagen import generate
+from repro.mining.hpa import HPAConfig, HPARun
+from repro.sim import Environment
+
+
+def test_record_and_query():
+    env = Environment()
+    trace = TraceCollector(env)
+
+    def proc(env):
+        trace.record(0, "fault", "line 1")
+        yield env.timeout(1.0)
+        trace.record(1, "swap-out", "line 2")
+        yield env.timeout(1.0)
+        trace.record(0, "fault", "line 3")
+
+    env.process(proc(env))
+    env.run()
+    assert len(trace) == 3
+    assert [e.time for e in trace.of_kind("fault")] == [0.0, 2.0]
+    assert len(trace.on_node(0)) == 2
+    assert len(trace.between(0.5, 2.5)) == 2
+    assert trace.counts_by_kind() == {"fault": 2, "swap-out": 1}
+
+
+def test_rate_series_buckets():
+    env = Environment()
+    trace = TraceCollector(env)
+
+    def proc(env):
+        for t in [0.1, 0.2, 1.5, 3.2, 3.3, 3.4]:
+            yield env.timeout(t - env.now)
+            trace.record(0, "fault")
+
+    env.process(proc(env))
+    env.run()
+    series = trace.rate_series("fault", bucket_s=1.0)
+    assert series == [(0.0, 2), (1.0, 1), (2.0, 0), (3.0, 3)]
+
+
+def test_rate_series_validation_and_empty():
+    env = Environment()
+    trace = TraceCollector(env)
+    with pytest.raises(ValueError):
+        trace.rate_series("fault", bucket_s=0)
+    assert trace.rate_series("fault", bucket_s=1.0) == []
+
+
+def test_record_hook_signature():
+    env = Environment()
+    trace = TraceCollector(env)
+    hook = trace.record_hook()
+    hook("migration", 5, "3 lines")
+    assert trace.events[0].node_id == 5
+    assert trace.events[0].kind == "migration"
+
+
+def test_sampler_collects_periodically():
+    env = Environment()
+    cluster = Cluster(env, 2)
+    sampler = UtilizationSampler(cluster, interval_s=0.5)
+
+    def busy(env, node):
+        for _ in range(4):
+            yield from node.compute(0.4)
+            yield env.timeout(0.1)
+
+    env.process(busy(env, cluster[0]))
+    sampler.start()
+    # The sampler loops forever; run to a horizon then stop it.
+    env.run(until=2.5)
+    sampler.stop()
+    env.run()
+    assert len(sampler.samples) >= 4
+    series = sampler.cpu_series(0)
+    # Node 0 was ~80% busy; node 1 idle.
+    assert max(u for _, u in series) > 0.5
+    assert all(u == 0.0 for _, u in sampler.cpu_series(1))
+
+
+def test_sampler_interval_validation():
+    env = Environment()
+    cluster = Cluster(env, 1)
+    with pytest.raises(ValueError):
+        UtilizationSampler(cluster, interval_s=0)
+
+
+def test_hpa_instrumentation_end_to_end():
+    db = generate("T8.I3.D400", n_items=80, seed=3)
+    run = HPARun(
+        db,
+        HPAConfig(
+            minsup=0.02, n_app_nodes=2, total_lines=256, max_k=2,
+            pager="disk", memory_limit_bytes=6000,
+        ),
+    )
+    trace = run.enable_instrumentation(sample_interval_s=0.05)
+    res = run.run()
+    kinds = trace.counts_by_kind()
+    assert kinds.get("swap-out", 0) > 0
+    assert kinds.get("fault", 0) > 0
+    assert kinds.get("phase", 0) >= 3
+    # Trace fault count agrees with pager stats.
+    total_faults = sum(run.pagers[a].stats.faults for a in run.app_ids)
+    assert kinds["fault"] == total_faults
+    # Sampler captured network growth.
+    assert run.sampler is not None
+    first, last = run.sampler.samples[0], run.sampler.samples[-1]
+    assert last.network_messages > first.network_messages
+    assert run.sampler.throughput_series()  # non-empty
+
+
+def test_fault_rate_concentrated_in_counting_phase():
+    db = generate("T8.I3.D400", n_items=80, seed=3)
+    run = HPARun(
+        db,
+        HPAConfig(
+            minsup=0.02, n_app_nodes=2, total_lines=256, max_k=2,
+            pager="disk", memory_limit_bytes=6000,
+        ),
+    )
+    trace = run.enable_instrumentation()
+    run.run()
+    phases = {e.detail: e.time for e in trace.of_kind("phase")}
+    candgen_done = phases["pass 2 candidates generated"]
+    counting_done = phases["pass 2 counting done"]
+    faults = trace.of_kind("fault")
+    in_counting = [e for e in faults if candgen_done <= e.time < counting_done]
+    # The overwhelming share of faults happens while counting.
+    assert len(in_counting) > 0.7 * len(faults)

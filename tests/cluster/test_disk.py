@@ -1,0 +1,113 @@
+"""Tests for the queued disk model."""
+
+import pytest
+
+from repro.cluster import BARRACUDA_7200, Disk
+from repro.errors import DiskError
+from repro.sim import Environment
+
+
+def make_disk():
+    env = Environment()
+    return env, Disk(env, BARRACUDA_7200)
+
+
+def test_single_read_takes_access_time():
+    env, disk = make_disk()
+
+    def proc(env, disk):
+        yield from disk.read(4096)
+
+    env.process(proc(env, disk))
+    env.run()
+    assert env.now == pytest.approx(BARRACUDA_7200.access_time_s(4096))
+
+
+def test_requests_serialise_on_one_arm():
+    env, disk = make_disk()
+    done = []
+
+    def proc(env, disk, name):
+        yield from disk.read(4096)
+        done.append((name, env.now))
+
+    env.process(proc(env, disk, "a"))
+    env.process(proc(env, disk, "b"))
+    env.run()
+    t1 = BARRACUDA_7200.access_time_s(4096)
+    assert done[0] == ("a", pytest.approx(t1))
+    assert done[1] == ("b", pytest.approx(2 * t1))
+
+
+def test_write_and_read_counters():
+    env, disk = make_disk()
+
+    def proc(env, disk):
+        yield from disk.write(1000)
+        yield from disk.read(2000)
+
+    env.process(proc(env, disk))
+    env.run()
+    assert disk.stats.writes == 1
+    assert disk.stats.reads == 1
+    assert disk.stats.bytes_written == 1000
+    assert disk.stats.bytes_read == 2000
+    assert disk.stats.total_ios() == 2
+
+
+def test_busy_time_accumulates():
+    env, disk = make_disk()
+
+    def proc(env, disk):
+        yield from disk.read(4096)
+        yield from disk.read(4096)
+
+    env.process(proc(env, disk))
+    env.run()
+    assert disk.stats.busy_time_s == pytest.approx(2 * BARRACUDA_7200.access_time_s(4096))
+
+
+def test_sequential_flag_is_cheaper():
+    env, disk = make_disk()
+    times = []
+
+    def proc(env, disk):
+        start = env.now
+        yield from disk.read(65536, sequential=True)
+        times.append(env.now - start)
+        start = env.now
+        yield from disk.read(65536)
+        times.append(env.now - start)
+
+    env.process(proc(env, disk))
+    env.run()
+    assert times[0] < times[1]
+
+
+def test_zero_size_io_rejected():
+    env, disk = make_disk()
+
+    def proc(env, disk):
+        yield from disk.read(0)
+
+    env.process(proc(env, disk))
+    with pytest.raises(DiskError):
+        env.run()
+
+
+def test_queue_length_visible_while_busy():
+    env, disk = make_disk()
+    observed = []
+
+    def reader(env, disk):
+        yield from disk.read(4096)
+
+    def observer(env, disk):
+        yield env.timeout(1e-3)
+        observed.append(disk.queue_length)
+
+    for _ in range(3):
+        env.process(reader(env, disk))
+    env.process(observer(env, disk))
+    env.run()
+    assert observed == [2]

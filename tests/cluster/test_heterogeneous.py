@@ -1,0 +1,84 @@
+"""Tests for heterogeneous hardware configurations of the cluster."""
+
+import pytest
+
+from repro.cluster import (
+    ATM_155,
+    BARRACUDA_7200,
+    Cluster,
+    CpuSpec,
+    MB,
+    NodeSpec,
+    PAPER_NODE,
+    PENTIUM_III_800,
+    PENTIUM_PRO_200,
+)
+from repro.sim import Environment
+
+
+def test_faster_cpu_computes_sooner():
+    env = Environment()
+    fast_spec = NodeSpec(
+        name="fast", cpu=PENTIUM_III_800, memory_bytes=64 * MB,
+        disk=BARRACUDA_7200, nic=ATM_155,
+    )
+    slow = Cluster(env, 1, spec=PAPER_NODE)[0]
+    # A second, faster cluster on its own environment for comparison.
+    env2 = Environment()
+    fast = Cluster(env2, 1, spec=fast_spec)[0]
+
+    def work(env, node):
+        yield from node.compute(1.0)
+
+    env.process(work(env, slow))
+    env.run()
+    env2.process(work(env2, fast))
+    env2.run()
+    ratio = env.now / env2.now
+    assert ratio == pytest.approx(
+        PENTIUM_III_800.specint95 / PENTIUM_PRO_200.specint95
+    )
+
+
+def test_custom_memory_capacity():
+    env = Environment()
+    small_spec = NodeSpec(
+        name="small-ram", cpu=PENTIUM_PRO_200, memory_bytes=8 * MB,
+        disk=BARRACUDA_7200, nic=ATM_155,
+    )
+    cluster = Cluster(env, 2, spec=small_spec)
+    assert cluster[0].memory.capacity_bytes == 8 * MB
+    cluster[0].memory.allocate(8 * MB)
+    from repro.errors import MemoryLedgerError
+
+    with pytest.raises(MemoryLedgerError):
+        cluster[0].memory.allocate(1)
+
+
+def test_cpu_speed_factor_catalogue():
+    assert PENTIUM_III_800.speed_factor == pytest.approx(38.3 / 8.2)
+    custom = CpuSpec(name="half", clock_mhz=100, specint95=4.1)
+    assert custom.speed_factor == pytest.approx(0.5)
+
+
+def test_network_spec_follows_node_spec():
+    env = Environment()
+    slow_nic = NodeSpec(
+        name="slow-net", cpu=PENTIUM_PRO_200, memory_bytes=64 * MB,
+        disk=BARRACUDA_7200,
+        nic=ATM_155.__class__(
+            name="ATM 25", raw_bits_per_s=25e6, effective_bits_per_s=20e6,
+            one_way_latency_s=0.5e-3,
+        ),
+    )
+    cluster = Cluster(env, 2, spec=slow_nic)
+    done = []
+
+    def proc(env):
+        yield from cluster.transport.send(0, 1, "x", None, 20_000)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    # 20 KB at 20 Mbps ~ 8 ms + latency: far slower than ATM 155.
+    assert done[0] > 7e-3

@@ -1,0 +1,71 @@
+"""Tests for the per-node memory ledger."""
+
+import pytest
+
+from repro.cluster import MemoryLedger
+from repro.errors import MemoryLedgerError
+
+
+def test_allocate_and_free():
+    mem = MemoryLedger(1000)
+    mem.allocate(400)
+    assert mem.used_bytes == 400
+    assert mem.available_bytes == 600
+    mem.free(150)
+    assert mem.used_bytes == 250
+
+
+def test_over_allocation_rejected():
+    mem = MemoryLedger(100)
+    mem.allocate(90)
+    with pytest.raises(MemoryLedgerError):
+        mem.allocate(20)
+    # Failed allocation leaves state untouched.
+    assert mem.used_bytes == 90
+
+
+def test_over_free_rejected():
+    mem = MemoryLedger(100)
+    mem.allocate(10)
+    with pytest.raises(MemoryLedgerError):
+        mem.free(20)
+
+
+def test_negative_amounts_rejected():
+    mem = MemoryLedger(100)
+    with pytest.raises(MemoryLedgerError):
+        mem.allocate(-1)
+    with pytest.raises(MemoryLedgerError):
+        mem.free(-1)
+    with pytest.raises(MemoryLedgerError):
+        mem.set_external_pressure(-1)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(MemoryLedgerError):
+        MemoryLedger(0)
+
+
+def test_external_pressure_shrinks_availability():
+    mem = MemoryLedger(1000)
+    mem.allocate(300)
+    mem.set_external_pressure(500)
+    assert mem.available_bytes == 200
+    assert mem.external_pressure_bytes == 500
+
+
+def test_availability_never_negative():
+    mem = MemoryLedger(1000)
+    mem.allocate(600)
+    mem.set_external_pressure(800)
+    assert mem.available_bytes == 0
+
+
+def test_on_change_hook_fires():
+    mem = MemoryLedger(1000)
+    seen = []
+    mem.on_change = lambda m: seen.append(m.available_bytes)
+    mem.allocate(100)
+    mem.free(50)
+    mem.set_external_pressure(10)
+    assert seen == [900, 950, 940]

@@ -1,0 +1,44 @@
+"""Direct tests of the netperf micro-benchmarks (beyond calibration use)."""
+
+import pytest
+
+from repro.cluster.netperf import (
+    measure_disk_access_s,
+    measure_fan_in_factor,
+    measure_rtt_s,
+    measure_throughput_bps,
+)
+from repro.cluster.specs import BARRACUDA_7200, CAVIAR_IDE, DK3E1T_12000
+
+
+def test_rtt_deterministic():
+    assert measure_rtt_s() == measure_rtt_s()
+
+
+def test_throughput_independent_of_message_count():
+    a = measure_throughput_bps(n_messages=20)
+    b = measure_throughput_bps(n_messages=100)
+    assert a == pytest.approx(b, rel=0.05)
+
+
+def test_throughput_small_messages_lower():
+    # Per-message protocol overhead bites harder on small payloads.
+    small = measure_throughput_bps(n_messages=50, message_bytes=512)
+    big = measure_throughput_bps(n_messages=50, message_bytes=65536)
+    assert small < big
+
+
+def test_fan_in_single_sender_unity():
+    assert measure_fan_in_factor(n_senders=1, n_messages=10) == pytest.approx(1.0)
+
+
+def test_disk_ordering_matches_specs():
+    slow = measure_disk_access_s(CAVIAR_IDE)
+    mid = measure_disk_access_s(BARRACUDA_7200)
+    fast = measure_disk_access_s(DK3E1T_12000)
+    assert slow > mid > fast
+
+
+def test_disk_access_matches_spec_formula():
+    t = measure_disk_access_s(BARRACUDA_7200, io_bytes=4096)
+    assert t == pytest.approx(BARRACUDA_7200.access_time_s(4096))

@@ -1,0 +1,71 @@
+"""Tests for the hardware catalogue."""
+
+import pytest
+
+from repro.cluster import (
+    ATM_155,
+    BARRACUDA_7200,
+    DK3E1T_12000,
+    MB,
+    PAPER_NODE,
+    PENTIUM_PRO_200,
+)
+
+
+def test_barracuda_matches_paper_quotes():
+    # Paper §5.2: avg seek 8.8 ms, avg rotation wait 4.2 ms.
+    assert BARRACUDA_7200.avg_seek_s == pytest.approx(8.8e-3)
+    assert BARRACUDA_7200.rotational_latency_s == pytest.approx(4.2e-3, rel=0.02)
+
+
+def test_dk3e1t_matches_paper_quotes():
+    # Paper §5.2: avg seek 5 ms, avg rotation wait 2.5 ms.
+    assert DK3E1T_12000.avg_seek_s == pytest.approx(5.0e-3)
+    assert DK3E1T_12000.rotational_latency_s == pytest.approx(2.5e-3)
+
+
+def test_barracuda_random_read_at_least_13ms():
+    # "it takes at least 13.0 ms in average to read data from 7200rpm disks"
+    assert BARRACUDA_7200.access_time_s(4096) >= 13.0e-3
+
+
+def test_fast_disk_random_read_at_least_7_5ms():
+    assert DK3E1T_12000.access_time_s(4096) >= 7.5e-3
+
+
+def test_sequential_read_skips_positioning():
+    t_seq = BARRACUDA_7200.access_time_s(64 * 1024, sequential=True)
+    t_rand = BARRACUDA_7200.access_time_s(64 * 1024)
+    assert t_rand - t_seq == pytest.approx(
+        BARRACUDA_7200.avg_seek_s + BARRACUDA_7200.rotational_latency_s
+    )
+
+
+def test_negative_io_size_rejected():
+    with pytest.raises(ValueError):
+        BARRACUDA_7200.access_time_s(-1)
+
+
+def test_atm_effective_throughput_120mbps():
+    assert ATM_155.effective_bits_per_s == pytest.approx(120e6)
+    # 4 KB block transmit time ~0.27 ms ("approximately 0.3 msec").
+    assert ATM_155.transmit_time_s(4096) == pytest.approx(0.273e-3, rel=0.01)
+
+
+def test_atm_rtt_half_millisecond():
+    assert 2 * ATM_155.one_way_latency_s == pytest.approx(0.5e-3)
+
+
+def test_paper_node_composition():
+    assert PAPER_NODE.memory_bytes == 64 * MB
+    assert PAPER_NODE.cpu is PENTIUM_PRO_200
+    assert PAPER_NODE.nic is ATM_155
+
+
+def test_cpu_speed_factor_relative_to_ppro():
+    assert PENTIUM_PRO_200.speed_factor == 1.0
+
+
+def test_negative_transmit_size_rejected():
+    with pytest.raises(ValueError):
+        ATM_155.transmit_time_s(-5)

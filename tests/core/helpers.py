@@ -1,0 +1,142 @@
+"""Shared fixtures for remote-memory core tests: a small rig with one or
+more application nodes and several memory-available nodes, pre-wired
+monitors, stores, and pagers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cost_model import CostModel
+from repro.cluster import Cluster
+from repro.core import (
+    DiskPager,
+    MemoryManagementTable,
+    MemoryMonitor,
+    MonitorClient,
+    MostAvailableFirst,
+    RemoteMemoryPager,
+    RemoteStore,
+    RemoteUpdatePager,
+    SwapManager,
+)
+from repro.core.policies import make_policy
+from repro.sim import Environment
+
+
+@dataclass
+class Rig:
+    """One wired-up miniature cluster for core tests."""
+
+    env: Environment
+    cluster: Cluster
+    cost: CostModel
+    app_ids: list[int]
+    mem_ids: list[int]
+    clients: dict[int, MonitorClient]
+    monitors: dict[int, MemoryMonitor]
+    stores: dict[int, RemoteStore]
+    pagers: dict[int, object] = field(default_factory=dict)
+    managers: dict[int, SwapManager] = field(default_factory=dict)
+
+    def run_until_quiet(self, horizon: float = 1_000.0):
+        """Run; monitors are persistent, so run to a horizon."""
+        self.env.run(until=horizon)
+
+    def stop_monitoring(self):
+        for m in self.monitors.values():
+            m.stop()
+        for c in self.clients.values():
+            c.stop()
+
+
+def make_rig(
+    n_app: int = 1,
+    n_mem: int = 2,
+    pager_kind: str = "remote",
+    limit_bytes: int | None = 1000,
+    policy: str = "lru",
+    cost: CostModel | None = None,
+    monitor_interval: float | None = None,
+) -> Rig:
+    """Build a rig with the requested pager on every app node."""
+    env = Environment()
+    cost = cost or CostModel()
+    cluster = Cluster(env, n_app + n_mem)
+    app_ids = list(range(n_app))
+    mem_ids = list(range(n_app, n_app + n_mem))
+
+    stores = {m: RemoteStore(cluster[m]) for m in mem_ids}
+    clients = {a: MonitorClient(cluster[a], cluster.transport) for a in app_ids}
+    monitors = {
+        m: MemoryMonitor(
+            cluster[m], cluster.transport, app_ids, cost, interval_s=monitor_interval
+        )
+        for m in mem_ids
+    }
+    for c in clients.values():
+        c.start()
+    for m in monitors.values():
+        m.start()
+
+    rig = Rig(
+        env=env,
+        cluster=cluster,
+        cost=cost,
+        app_ids=app_ids,
+        mem_ids=mem_ids,
+        clients=clients,
+        monitors=monitors,
+        stores=stores,
+    )
+
+    memory_nodes = {m: cluster[m] for m in mem_ids}
+    for a in app_ids:
+        table = MemoryManagementTable()
+        if pager_kind == "disk":
+            pager = DiskPager(cluster[a], table, cost)
+        elif pager_kind == "remote":
+            pager = RemoteMemoryPager(
+                cluster[a], table, cost, cluster.network, clients[a],
+                MostAvailableFirst(), stores, memory_nodes,
+            )
+        elif pager_kind == "remote-update":
+            pager = RemoteUpdatePager(
+                cluster[a], table, cost, cluster.network, clients[a],
+                MostAvailableFirst(), stores, memory_nodes,
+            )
+        elif pager_kind == "none":
+            pager = None
+        else:
+            raise ValueError(pager_kind)
+        rig.pagers[a] = pager
+        rig.managers[a] = SwapManager(
+            cluster[a],
+            limit_bytes=limit_bytes if pager is not None else None,
+            pager=pager,
+            policy=make_policy(policy),
+            cost=cost,
+        )
+    return rig
+
+
+def drive(mgr: SwapManager, op):
+    """Run one fast/slow-path operation inside a process, return a process
+    generator for chaining."""
+    if op is not None:
+        yield from op
+
+
+def insert_all(mgr: SwapManager, pairs):
+    """Process generator inserting (itemset, line_id) pairs in order."""
+    for itemset, line_id in pairs:
+        op = mgr.insert_candidate(itemset, line_id)
+        if op is not None:
+            yield from op
+
+
+def count_all(mgr: SwapManager, pairs):
+    """Process generator counting (itemset, line_id) pairs in order."""
+    for itemset, line_id in pairs:
+        op = mgr.count_itemset(itemset, line_id)
+        if op is not None:
+            yield from op

@@ -1,0 +1,122 @@
+"""Tests for the disk-swapping baseline pager."""
+
+import pytest
+
+from repro.cluster import BARRACUDA_7200
+from repro.core import LineState
+from repro.errors import SwapError
+from repro.mining import HashLine
+from tests.core.helpers import make_rig
+
+
+def make_line(line_id=1, n=3):
+    line = HashLine(line_id)
+    for i in range(n):
+        line.add((i, i + 100))
+    return line
+
+
+def test_swap_out_then_fault_in_roundtrip():
+    rig = make_rig(pager_kind="disk")
+    pager = rig.pagers[0]
+    line = make_line()
+    got = []
+
+    def proc(env):
+        yield from pager.swap_out(line)
+        assert pager.table.state(1) is LineState.DISK
+        back = yield from pager.fault_in(1)
+        got.append(back)
+
+    rig.env.process(proc(rig.env))
+    rig.env.run(until=100)
+    assert got[0] is line
+    assert pager.table.state(1) is LineState.RESIDENT
+    assert pager.stats.swap_outs == 1
+    assert pager.stats.faults == 1
+
+
+def test_fault_time_is_disk_access_time():
+    rig = make_rig(pager_kind="disk")
+    pager = rig.pagers[0]
+
+    def proc(env):
+        yield from pager.swap_out(make_line())
+        yield from pager.fault_in(1)
+
+    rig.env.process(proc(rig.env))
+    rig.env.run(until=100)
+    expected = BARRACUDA_7200.access_time_s(4096)
+    assert pager.stats.mean_fault_time_s() == pytest.approx(expected)
+    # Paper §5.2: "at least 13.0 msec in average" on the 7200 rpm disk.
+    assert pager.stats.mean_fault_time_s() >= 13.0e-3
+
+
+def test_double_swap_out_rejected():
+    rig = make_rig(pager_kind="disk")
+    pager = rig.pagers[0]
+    line = make_line()
+
+    def proc(env):
+        yield from pager.swap_out(line)
+        with pytest.raises(SwapError):
+            yield from pager.swap_out(line)
+
+    rig.env.process(proc(rig.env))
+    rig.env.run(until=100)
+
+
+def test_fault_in_resident_rejected():
+    rig = make_rig(pager_kind="disk")
+    pager = rig.pagers[0]
+
+    def proc(env):
+        with pytest.raises(SwapError):
+            yield from pager.fault_in(99)
+
+    rig.env.process(proc(rig.env))
+    rig.env.run(until=100)
+
+
+def test_peek_leaves_line_on_disk():
+    rig = make_rig(pager_kind="disk")
+    pager = rig.pagers[0]
+    line = make_line()
+
+    def proc(env):
+        yield from pager.swap_out(line)
+        peeked = yield from pager.peek_line(1)
+        assert peeked is line
+
+    rig.env.process(proc(rig.env))
+    rig.env.run(until=100)
+    assert pager.table.state(1) is LineState.DISK
+    assert pager.stats.peeks == 1
+
+
+def test_counts_preserved_across_swap():
+    rig = make_rig(pager_kind="disk")
+    pager = rig.pagers[0]
+    line = make_line()
+    line.increment((0, 100), by=7)
+
+    def proc(env):
+        yield from pager.swap_out(line)
+        back = yield from pager.fault_in(1)
+        assert back.counts[(0, 100)] == 7
+
+    rig.env.process(proc(rig.env))
+    rig.env.run(until=100)
+
+
+def test_reset_pass_clears_disk_contents():
+    rig = make_rig(pager_kind="disk")
+    pager = rig.pagers[0]
+
+    def proc(env):
+        yield from pager.swap_out(make_line())
+
+    rig.env.process(proc(rig.env))
+    rig.env.run(until=100)
+    pager.reset_pass()
+    assert pager._on_disk == {}

@@ -1,0 +1,76 @@
+"""Tests for the memory management table."""
+
+import pytest
+
+from repro.core import LineLocation, LineState, MemoryManagementTable
+from repro.errors import SwapError
+
+
+def test_unknown_lines_default_resident():
+    t = MemoryManagementTable()
+    assert t.state(42) is LineState.RESIDENT
+    assert t.location(42).node_id is None
+
+
+def test_set_and_clear_remote():
+    t = MemoryManagementTable()
+    t.set_remote(1, node_id=9)
+    assert t.state(1) is LineState.REMOTE
+    assert t.location(1).node_id == 9
+    t.set_resident(1)
+    assert t.state(1) is LineState.RESIDENT
+    assert t.non_resident_lines() == []
+
+
+def test_remote_fixed():
+    t = MemoryManagementTable()
+    t.set_remote(1, node_id=3, fixed=True)
+    assert t.state(1) is LineState.REMOTE_FIXED
+
+
+def test_disk_state():
+    t = MemoryManagementTable()
+    t.set_disk(5)
+    assert t.state(5) is LineState.DISK
+    assert t.location(5).node_id is None
+
+
+def test_migrating_state():
+    t = MemoryManagementTable()
+    t.set_migrating(2)
+    assert t.state(2) is LineState.MIGRATING
+
+
+def test_lines_at_reports_both_remote_kinds():
+    t = MemoryManagementTable()
+    t.set_remote(1, node_id=7)
+    t.set_remote(2, node_id=7, fixed=True)
+    t.set_remote(3, node_id=8)
+    t.set_disk(4)
+    assert sorted(t.lines_at(7)) == [1, 2]
+    assert t.lines_at(8) == [3]
+    assert t.lines_at(9) == []
+
+
+def test_count_by_state():
+    t = MemoryManagementTable()
+    t.set_remote(1, node_id=7)
+    t.set_remote(2, node_id=7)
+    t.set_disk(3)
+    counts = t.count_by_state()
+    assert counts[LineState.REMOTE] == 2
+    assert counts[LineState.DISK] == 1
+
+
+def test_location_validation():
+    with pytest.raises(SwapError):
+        LineLocation(LineState.REMOTE)  # remote needs a node
+    with pytest.raises(SwapError):
+        LineLocation(LineState.RESIDENT, node_id=3)  # resident must not
+
+
+def test_clear():
+    t = MemoryManagementTable()
+    t.set_remote(1, node_id=7)
+    t.clear()
+    assert t.state(1) is LineState.RESIDENT

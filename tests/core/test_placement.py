@@ -1,0 +1,78 @@
+"""Tests for swap-destination placement policies."""
+
+import pytest
+
+from repro.core import MostAvailableFirst, RoundRobinPlacement, make_placement
+from repro.errors import NoMemoryAvailable
+from tests.core.helpers import make_rig
+
+
+def primed_rig(n_mem=3):
+    rig = make_rig(n_app=1, n_mem=n_mem, pager_kind="none", limit_bytes=None)
+    rig.env.run(until=0.5)  # let first broadcasts land
+    return rig
+
+
+def test_most_available_picks_max():
+    rig = primed_rig()
+    client = rig.clients[0]
+    m0, m1, m2 = rig.mem_ids
+    client.adjust_estimate(m0, -10_000)
+    client.adjust_estimate(m2, -20_000)
+    assert MostAvailableFirst().choose(client, 100) == m1
+
+
+def test_most_available_respects_exclude():
+    rig = primed_rig()
+    client = rig.clients[0]
+    best = MostAvailableFirst().choose(client, 100)
+    second = MostAvailableFirst().choose(client, 100, exclude={best})
+    assert second != best
+
+
+def test_no_candidates_raises():
+    rig = make_rig(n_app=1, n_mem=1, pager_kind="none", limit_bytes=None)
+    # No broadcasts received yet at t=0.
+    with pytest.raises(NoMemoryAvailable):
+        MostAvailableFirst().choose(rig.clients[0], 100)
+
+
+def test_needed_bytes_filters():
+    rig = primed_rig(n_mem=2)
+    client = rig.clients[0]
+    m0, m1 = rig.mem_ids
+    cap = client.available_bytes(m0)
+    client.adjust_estimate(m0, -(cap - 10))  # m0 has only 10 bytes left
+    assert MostAvailableFirst().choose(client, 100) == m1
+    with pytest.raises(NoMemoryAvailable):
+        MostAvailableFirst().choose(client, 100, exclude={m1})
+
+
+def test_shortage_nodes_skipped():
+    rig = primed_rig(n_mem=2)
+    m0, m1 = rig.mem_ids
+
+    def proc(env):
+        rig.monitors[m0].signal_shortage()
+        yield env.timeout(0.2)
+
+    rig.env.process(proc(rig.env))
+    rig.env.run(until=1.0)
+    choice = MostAvailableFirst().choose(rig.clients[0], 100)
+    assert choice == m1
+
+
+def test_round_robin_cycles():
+    rig = primed_rig(n_mem=3)
+    client = rig.clients[0]
+    rr = RoundRobinPlacement()
+    picks = [rr.choose(client, 100) for _ in range(6)]
+    assert picks[:3] == sorted(rig.mem_ids)
+    assert picks[3:] == sorted(rig.mem_ids)
+
+
+def test_make_placement():
+    assert isinstance(make_placement("most-available"), MostAvailableFirst)
+    assert isinstance(make_placement("round-robin"), RoundRobinPlacement)
+    with pytest.raises(ValueError):
+        make_placement("nope")

@@ -1,0 +1,113 @@
+"""Tests for the guest-memory store on memory-available nodes."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import RemoteStore
+from repro.errors import NoMemoryAvailable, SwapError
+from repro.mining import HashLine
+from repro.sim import Environment
+
+
+def make_store():
+    env = Environment()
+    cluster = Cluster(env, 1)
+    return cluster[0], RemoteStore(cluster[0])
+
+
+def line_with(line_id, itemsets):
+    line = HashLine(line_id)
+    for i in itemsets:
+        line.add(i)
+    return line
+
+
+def test_put_take_roundtrip():
+    node, store = make_store()
+    line = line_with(1, [(1, 2), (3, 4)])
+    store.put(owner=0, line=line)
+    assert store.holds(0, 1)
+    assert node.memory.used_bytes == line.nbytes
+    got = store.take(0, 1)
+    assert got is line
+    assert node.memory.used_bytes == 0
+    assert not store.holds(0, 1)
+
+
+def test_same_line_id_different_owners():
+    node, store = make_store()
+    store.put(0, line_with(5, [(1, 2)]))
+    store.put(1, line_with(5, [(3, 4)]))
+    assert store.n_lines == 2
+    assert store.owners() == {0, 1}
+    assert store.lines_of_owner(0) == [5]
+
+
+def test_duplicate_put_rejected():
+    node, store = make_store()
+    store.put(0, line_with(1, [(1, 2)]))
+    with pytest.raises(SwapError):
+        store.put(0, line_with(1, [(9, 9)]))
+
+
+def test_take_missing_rejected():
+    node, store = make_store()
+    with pytest.raises(SwapError):
+        store.take(0, 1)
+
+
+def test_put_respects_external_pressure():
+    node, store = make_store()
+    node.memory.set_external_pressure(node.memory.capacity_bytes)
+    with pytest.raises(NoMemoryAvailable):
+        store.put(0, line_with(1, [(1, 2)]))
+    assert store.n_lines == 0
+
+
+def test_peek_does_not_remove():
+    node, store = make_store()
+    line = line_with(1, [(1, 2)])
+    store.put(0, line)
+    assert store.peek(0, 1) is line
+    assert store.holds(0, 1)
+
+
+def test_apply_updates_increment():
+    node, store = make_store()
+    store.put(0, line_with(1, [(1, 2), (3, 4)]))
+    store.apply_updates(0, [(1, (1, 2), 1), (1, (1, 2), 1), (1, (3, 4), 5)])
+    line = store.peek(0, 1)
+    assert line.counts == {(1, 2): 2, (3, 4): 5}
+
+
+def test_apply_updates_insert():
+    node, store = make_store()
+    store.put(0, line_with(1, [(1, 2)]))
+    before = node.memory.used_bytes
+    store.apply_updates(0, [(1, (7, 8), 0)])
+    assert store.peek(0, 1).counts[(7, 8)] == 0
+    assert node.memory.used_bytes == before + 24
+
+
+def test_apply_updates_unknown_line_rejected():
+    node, store = make_store()
+    with pytest.raises(SwapError):
+        store.apply_updates(0, [(9, (1, 2), 1)])
+
+
+def test_apply_increment_unknown_itemset_rejected():
+    node, store = make_store()
+    store.put(0, line_with(1, [(1, 2)]))
+    with pytest.raises(SwapError):
+        store.apply_updates(0, [(1, (9, 9), 3)])
+
+
+def test_guest_bytes_and_clear():
+    node, store = make_store()
+    l1, l2 = line_with(1, [(1, 2)]), line_with(2, [(3, 4), (5, 6)])
+    store.put(0, l1)
+    store.put(0, l2)
+    assert store.guest_bytes == l1.nbytes + l2.nbytes
+    store.clear()
+    assert store.guest_bytes == 0
+    assert node.memory.used_bytes == 0

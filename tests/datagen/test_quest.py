@@ -1,0 +1,100 @@
+"""Tests for the Quest generator and workload-name parsing."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import QuestGenerator, QuestParams, generate, parse_workload_name
+from repro.errors import DataGenError
+
+
+def test_parse_workload_name_basic():
+    p = parse_workload_name("T10.I4.D100K")
+    assert p.avg_txn_len == 10
+    assert p.avg_pattern_len == 4
+    assert p.n_transactions == 100_000
+
+
+def test_parse_workload_name_plain_count():
+    p = parse_workload_name("T5.I2.D500")
+    assert p.n_transactions == 500
+
+
+def test_parse_workload_name_overrides():
+    p = parse_workload_name("T10.I4.D1K", n_items=5000, seed=7)
+    assert p.n_items == 5000
+    assert p.seed == 7
+
+
+def test_parse_bad_name_rejected():
+    with pytest.raises(DataGenError):
+        parse_workload_name("banana")
+
+
+def test_workload_name_roundtrip():
+    p = parse_workload_name("T10.I4.D100K")
+    assert p.workload_name() == "T10.I4.D100K"
+
+
+def test_params_validation():
+    with pytest.raises(DataGenError):
+        QuestParams(n_transactions=0)
+    with pytest.raises(DataGenError):
+        QuestParams(n_items=1)
+    with pytest.raises(DataGenError):
+        QuestParams(avg_txn_len=-1)
+    with pytest.raises(DataGenError):
+        QuestParams(correlation=2.0)
+    with pytest.raises(DataGenError):
+        QuestParams(n_patterns=0)
+
+
+def test_generate_shape():
+    db = generate("T10.I4.D1K", n_items=200, seed=1)
+    assert len(db) == 1000
+    assert db.n_items == 200
+    # Mean transaction length should be in the ballpark of |T|.
+    assert 5 <= db.avg_txn_len <= 16
+
+
+def test_transactions_sorted_unique():
+    db = generate("T8.I3.D500", n_items=100, seed=2)
+    for txn in db:
+        assert np.all(np.diff(txn) > 0)  # strictly increasing => sorted, unique
+
+
+def test_item_ids_in_range():
+    db = generate("T8.I3.D500", n_items=50, seed=3)
+    assert db.items.min() >= 0
+    assert db.items.max() < 50
+
+
+def test_determinism_same_seed():
+    a = generate("T10.I4.D300", n_items=100, seed=42)
+    b = generate("T10.I4.D300", n_items=100, seed=42)
+    assert np.array_equal(a.items, b.items)
+    assert np.array_equal(a.offsets, b.offsets)
+
+
+def test_different_seeds_differ():
+    a = generate("T10.I4.D300", n_items=100, seed=1)
+    b = generate("T10.I4.D300", n_items=100, seed=2)
+    assert not (np.array_equal(a.items, b.items) and np.array_equal(a.offsets, b.offsets))
+
+
+def test_patterns_pool_properties():
+    gen = QuestGenerator(QuestParams(n_transactions=10, n_items=100, n_patterns=50, seed=5))
+    pats = gen.patterns
+    assert len(pats) == 50
+    for p in pats:
+        assert p.size >= 1
+        assert np.all(np.diff(p) > 0)
+        assert p.max() < 100
+
+
+def test_skewed_supports_exist():
+    # Pattern-based generation must create frequent item groups: the top
+    # item should be far more frequent than the median item.
+    db = generate("T10.I4.D2K", n_items=500, seed=9)
+    counts = db.item_counts()
+    nonzero = counts[counts > 0]
+    assert counts.max() >= 5 * max(1, int(np.median(nonzero)))

@@ -1,0 +1,79 @@
+"""Tests for the workload catalogue and the .dat text format."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    TransactionDatabase,
+    WORKLOADS,
+    make_workload,
+    paper_workload_params,
+)
+from repro.errors import DataGenError
+
+
+def test_catalogue_has_paper_entries():
+    assert "paper-5.1" in WORKLOADS
+    assert "paper-table2" in WORKLOADS
+    assert "scaled-small" in WORKLOADS
+
+
+def test_paper_51_parameters():
+    p = paper_workload_params("paper-5.1")
+    assert p.n_transactions == 1_000_000
+    assert p.n_items == 5000
+
+
+def test_paper_table2_parameters():
+    p = paper_workload_params("paper-table2")
+    assert p.n_transactions == 10_000_000
+    assert p.n_items == 5000
+
+
+def test_literature_names_resolve():
+    p = paper_workload_params("T10.I4.D100K")
+    assert p.avg_txn_len == 10
+    assert p.n_transactions == 100_000
+    assert p.n_items == 1000
+
+
+def test_unknown_alias_rejected():
+    with pytest.raises(DataGenError):
+        paper_workload_params("T99.I9.D9")
+
+
+def test_make_workload_scaled():
+    db = make_workload("scaled-small", seed=1)
+    assert len(db) == 1000
+    assert db.n_items == 250
+
+
+def test_seed_passthrough():
+    a = make_workload("scaled-small", seed=1)
+    b = make_workload("scaled-small", seed=2)
+    assert not np.array_equal(a.items, b.items)
+
+
+def test_dat_roundtrip(tmp_path):
+    db = make_workload("scaled-small", seed=3)
+    path = tmp_path / "txns.dat"
+    db.save_dat(path)
+    back = TransactionDatabase.load_dat(path, n_items=db.n_items)
+    assert np.array_equal(back.items, db.items)
+    assert np.array_equal(back.offsets, db.offsets)
+
+
+def test_dat_infers_item_universe(tmp_path):
+    path = tmp_path / "t.dat"
+    path.write_text("1 5 9\n\n2 9\n")
+    db = TransactionDatabase.load_dat(path)
+    assert db.n_items == 10
+    assert len(db) == 2
+    assert db[0].tolist() == [1, 5, 9]
+
+
+def test_dat_dedups_within_line(tmp_path):
+    path = tmp_path / "t.dat"
+    path.write_text("3 1 3 2\n")
+    db = TransactionDatabase.load_dat(path)
+    assert db[0].tolist() == [1, 2, 3]

@@ -1,0 +1,45 @@
+"""Tests for the repro-bench CLI."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_list_flag(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "table2" in out
+
+
+def test_no_args_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["nonsense"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_runs_one_experiment(capsys):
+    assert main(["disk", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "S52" in out
+    assert "completed in" in out
+
+
+def test_scale_choices_validated():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["disk", "--scale", "gigantic"])
+
+
+def test_json_output(tmp_path, capsys):
+    assert main(["disk", "--scale", "tiny", "--json", str(tmp_path)]) == 0
+    out = tmp_path / "disk.json"
+    assert out.exists()
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["exp_id"] == "S52"
+    assert "data" in payload

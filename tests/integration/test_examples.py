@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Slower examples are exercised through their importable main() in a
+subprocess with a generous timeout; failures here mean the public API
+drifted under the documentation.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLES) >= 7
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    root = Path(__file__).parents[2]
+    proc = subprocess.run(
+        [sys.executable, str(root / "examples" / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=root,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,149 @@
+"""Tests for sequential Apriori, including a brute-force oracle and
+hypothesis property tests."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import TransactionDatabase, generate
+from repro.errors import MiningError
+from repro.mining import apriori
+
+
+def brute_force_large(txns, n_items, minsup_count, max_len=4):
+    """Oracle: count every itemset up to max_len by exhaustive scan."""
+    from collections import Counter
+
+    counter = Counter()
+    for t in txns:
+        t = tuple(sorted(set(t)))
+        for k in range(1, min(max_len, len(t)) + 1):
+            for sub in combinations(t, k):
+                counter[sub] += 1
+    return {i: c for i, c in counter.items() if c >= minsup_count}
+
+
+SMALL_TXNS = [
+    [0, 1, 2],
+    [0, 1],
+    [0, 2],
+    [1, 2],
+    [0, 1, 2, 3],
+    [3],
+    [0, 1, 2],
+    [1, 2, 3],
+]
+
+
+def test_matches_brute_force_small():
+    db = TransactionDatabase.from_lists(SMALL_TXNS, n_items=4)
+    res = apriori(db, minsup=0.5)  # count >= 4
+    expected = brute_force_large(SMALL_TXNS, 4, res.minsup_count)
+    assert res.large_itemsets == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    txns=st.lists(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=6),
+        min_size=1,
+        max_size=25,
+    ),
+    minsup=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_property_matches_brute_force(txns, minsup):
+    db = TransactionDatabase.from_lists(txns, n_items=8)
+    res = apriori(db, minsup=minsup)
+    expected = brute_force_large(
+        txns, 8, res.minsup_count, max_len=max(len(set(t)) for t in txns)
+    )
+    assert res.large_itemsets == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    txns=st.lists(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=5),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_downward_closure(txns):
+    db = TransactionDatabase.from_lists(txns, n_items=10)
+    res = apriori(db, minsup=0.2)
+    large = set(res.large_itemsets)
+    for itemset in large:
+        for k in range(1, len(itemset)):
+            for sub in combinations(itemset, k):
+                assert sub in large
+
+
+def test_supports_are_exact():
+    db = TransactionDatabase.from_lists(SMALL_TXNS, n_items=4)
+    res = apriori(db, minsup=0.25)
+    assert res.large_itemsets[(0,)] == 5
+    assert res.large_itemsets[(0, 1)] == 4
+    assert res.large_itemsets[(1, 2)] == 5
+
+
+def test_minsup_validation():
+    db = TransactionDatabase.from_lists(SMALL_TXNS, n_items=4)
+    with pytest.raises(MiningError):
+        apriori(db, minsup=0.0)
+    with pytest.raises(MiningError):
+        apriori(db, minsup=1.5)
+
+
+def test_empty_db_rejected():
+    db = TransactionDatabase.from_arrays([], n_items=4)
+    with pytest.raises(MiningError):
+        apriori(db, minsup=0.5)
+
+
+def test_pass_profile_shape():
+    db = TransactionDatabase.from_lists(SMALL_TXNS, n_items=4)
+    res = apriori(db, minsup=0.25)
+    ks = [p.k for p in res.passes]
+    assert ks == list(range(1, len(ks) + 1))
+    # Large counts never exceed candidate counts (for k >= 2).
+    for p in res.passes:
+        if p.k >= 2:
+            assert p.n_large <= p.n_candidates
+
+
+def test_termination_on_no_large():
+    # Single transaction: with minsup extremely high relative to db of 3,
+    # nothing beyond pass 1 survives.
+    db = TransactionDatabase.from_lists([[0], [1], [2]], n_items=3)
+    res = apriori(db, minsup=1.0)
+    assert res.large_itemsets == {}
+    assert res.passes[0].n_large == 0
+
+
+def test_max_k_caps_passes():
+    db = TransactionDatabase.from_lists(SMALL_TXNS, n_items=4)
+    res = apriori(db, minsup=0.25, max_k=2)
+    assert res.max_k() <= 2
+
+
+def test_table2_rows_shape():
+    db = generate("T8.I3.D2K", n_items=150, seed=11)
+    res = apriori(db, minsup=0.01)
+    rows = res.table2_rows()
+    assert rows[0][1] is None  # pass 1 has no candidate column
+    # The pass-2 candidate explosion the paper's Table 2 shows:
+    # C2 must dwarf candidates of every later pass.
+    c2 = rows[1][1]
+    assert c2 is not None
+    for k, ck, lk in rows[2:]:
+        assert ck is not None and ck < c2
+
+
+def test_pass2_candidates_are_l1_choose_2():
+    db = TransactionDatabase.from_lists(SMALL_TXNS, n_items=4)
+    res = apriori(db, minsup=0.25)
+    l1 = res.passes[0].n_large
+    assert res.passes[1].n_candidates == l1 * (l1 - 1) // 2

@@ -1,0 +1,62 @@
+"""Tests for apriori-gen (join + prune)."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining import generate_candidates, join, prune
+
+
+def test_join_pairs_from_singletons():
+    large1 = [(1,), (2,), (3,)]
+    assert join(large1, 2) == [(1, 2), (1, 3), (2, 3)]
+
+
+def test_join_requires_shared_prefix():
+    large2 = [(1, 2), (1, 3), (2, 3), (4, 5)]
+    # (1,2)+(1,3) share prefix (1,) -> (1,2,3); (4,5) joins with nothing.
+    assert join(large2, 3) == [(1, 2, 3)]
+
+
+def test_join_wrong_size_rejected():
+    with pytest.raises(MiningError):
+        join([(1, 2)], 2)
+
+
+def test_join_k_too_small():
+    with pytest.raises(MiningError):
+        join([(1,)], 1)
+
+
+def test_prune_drops_unsupported_subset():
+    # (1,2,3) needs (2,3) to be large.
+    candidates = [(1, 2, 3)]
+    large2 = [(1, 2), (1, 3)]
+    assert prune(candidates, large2, 3) == []
+
+
+def test_prune_keeps_fully_supported():
+    candidates = [(1, 2, 3)]
+    large2 = [(1, 2), (1, 3), (2, 3)]
+    assert prune(candidates, large2, 3) == [(1, 2, 3)]
+
+
+def test_generate_candidates_k2_all_pairs():
+    large1 = [(i,) for i in range(5)]
+    cands = generate_candidates(large1, 2)
+    assert len(cands) == 10  # C(5,2) — the pass-2 explosion
+
+
+def test_generate_candidates_k3_with_prune():
+    large2 = [(1, 2), (1, 3), (2, 3), (2, 4)]
+    # join yields (1,2,3) and (2,3,4); prune kills (2,3,4) since (3,4) missing.
+    assert generate_candidates(large2, 3) == [(1, 2, 3)]
+
+
+def test_generate_candidates_sorted_output():
+    large1 = [(3,), (1,), (2,)]
+    cands = generate_candidates(large1, 2)
+    assert cands == sorted(cands)
+
+
+def test_generate_candidates_empty_input():
+    assert generate_candidates([], 2) == []

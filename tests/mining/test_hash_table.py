@@ -1,0 +1,98 @@
+"""Tests for hash lines and the candidate hash table."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining import ITEMSET_BYTES, LINE_HEADER_BYTES, CandidateHashTable, HashLine
+
+
+def test_line_add_and_increment():
+    line = HashLine(7)
+    line.add((1, 2))
+    assert line.counts[(1, 2)] == 0
+    assert line.increment((1, 2))
+    assert line.counts[(1, 2)] == 1
+    assert not line.increment((9, 9))
+
+
+def test_line_duplicate_add_rejected():
+    line = HashLine(0)
+    line.add((1, 2))
+    with pytest.raises(MiningError):
+        line.add((1, 2))
+
+
+def test_line_nbytes():
+    line = HashLine(0)
+    assert line.nbytes == LINE_HEADER_BYTES
+    line.add((1, 2))
+    line.add((1, 3))
+    assert line.nbytes == LINE_HEADER_BYTES + 2 * ITEMSET_BYTES
+    assert line.n_itemsets == 2
+
+
+def test_line_merge_counts():
+    line = HashLine(0)
+    line.add((1, 2))
+    line.add((3, 4))
+    line.increment((1, 2))
+    line.merge_counts({(1, 2): 5, (3, 4): 2})
+    assert line.counts == {(1, 2): 6, (3, 4): 2}
+
+
+def test_line_merge_unknown_rejected():
+    line = HashLine(0)
+    line.add((1, 2))
+    with pytest.raises(MiningError):
+        line.merge_counts({(9, 9): 1})
+
+
+def test_table_line_creation_on_demand():
+    table = CandidateHashTable()
+    assert table.get(5) is None
+    line = table.line(5)
+    assert table.get(5) is line
+    assert 5 in table
+    assert len(table) == 1
+
+
+def test_table_pop_and_put():
+    table = CandidateHashTable()
+    line = table.line(3)
+    line.add((1, 2))
+    popped = table.pop(3)
+    assert popped is line
+    assert 3 not in table
+    table.put(popped)
+    assert 3 in table
+
+
+def test_table_pop_missing_rejected():
+    with pytest.raises(MiningError):
+        CandidateHashTable().pop(1)
+
+
+def test_table_put_duplicate_rejected():
+    table = CandidateHashTable()
+    table.line(1)
+    with pytest.raises(MiningError):
+        table.put(HashLine(1))
+
+
+def test_table_aggregates():
+    table = CandidateHashTable()
+    table.line(0).add((1, 2))
+    table.line(1).add((1, 3))
+    table.line(1).add((2, 3))
+    assert table.n_itemsets == 3
+    assert table.nbytes == 2 * LINE_HEADER_BYTES + 3 * ITEMSET_BYTES
+    assert sorted(table.line_ids) == [0, 1]
+    assert table.all_counts() == {(1, 2): 0, (1, 3): 0, (2, 3): 0}
+
+
+def test_table_clear():
+    table = CandidateHashTable()
+    table.line(0).add((1, 2))
+    table.clear()
+    assert len(table) == 0
+    assert table.n_itemsets == 0

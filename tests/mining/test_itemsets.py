@@ -1,0 +1,74 @@
+"""Tests for itemset utilities."""
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining import (
+    ITEMSET_BYTES,
+    is_valid_itemset,
+    itemset_hash,
+    k_subsets,
+    make_itemset,
+)
+
+
+def test_make_itemset_sorts():
+    assert make_itemset([3, 1, 2]) == (1, 2, 3)
+
+
+def test_make_itemset_rejects_duplicates():
+    with pytest.raises(MiningError):
+        make_itemset([1, 1, 2])
+
+
+def test_make_itemset_rejects_empty():
+    with pytest.raises(MiningError):
+        make_itemset([])
+
+
+def test_make_itemset_rejects_negative():
+    with pytest.raises(MiningError):
+        make_itemset([-1, 2])
+
+
+def test_is_valid_itemset():
+    assert is_valid_itemset((1, 2, 3))
+    assert not is_valid_itemset(())
+    assert not is_valid_itemset((2, 1))
+    assert not is_valid_itemset((1, 1))
+
+
+def test_itemset_bytes_is_paper_constant():
+    assert ITEMSET_BYTES == 24
+
+
+def test_hash_deterministic():
+    assert itemset_hash((1, 5, 9)) == itemset_hash((1, 5, 9))
+
+
+def test_hash_order_sensitive_inputs_differ():
+    # Different itemsets must (overwhelmingly) hash differently.
+    hashes = {itemset_hash((a, b)) for a in range(30) for b in range(a + 1, 30)}
+    assert len(hashes) == 30 * 29 // 2
+
+
+def test_hash_spreads_modulo():
+    # Fairness under modulo: pairs spread over 8 buckets roughly evenly.
+    from collections import Counter
+
+    buckets = Counter(
+        itemset_hash((a, b)) % 8 for a in range(100) for b in range(a + 1, 100)
+    )
+    counts = list(buckets.values())
+    assert len(buckets) == 8
+    assert max(counts) < 1.3 * min(counts)
+
+
+def test_k_subsets():
+    assert list(k_subsets([1, 2, 3], 2)) == [(1, 2), (1, 3), (2, 3)]
+    assert list(k_subsets([1, 2], 3)) == []
+
+
+def test_k_subsets_invalid_k():
+    with pytest.raises(MiningError):
+        k_subsets([1, 2], 0)

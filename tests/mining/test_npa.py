@@ -1,0 +1,105 @@
+"""Tests for NPA (Non-Partitioned Apriori), the baseline HPA improves on."""
+
+import pytest
+
+from repro.datagen import generate
+from repro.errors import MiningError
+from repro.mining import apriori
+from repro.mining.hpa import HPAConfig, run_hpa
+from repro.mining.npa import NPAConfig, NPARun, run_npa
+
+DB = generate("T8.I3.D600", n_items=100, seed=7)
+REF = apriori(DB, minsup=0.02)
+C2 = REF.passes[1].n_candidates
+
+
+def cfg(**kw):
+    base = dict(minsup=0.02, n_app_nodes=4, total_lines=256, seed=1)
+    base.update(kw)
+    return NPAConfig(**base)
+
+
+def test_matches_sequential():
+    res = run_npa(DB, cfg())
+    assert res.large_itemsets == REF.large_itemsets
+
+
+def test_pass_profile_matches_sequential():
+    res = run_npa(DB, cfg())
+    assert res.table2_rows() == REF.table2_rows()
+
+
+def test_every_node_holds_all_candidates():
+    res = run_npa(DB, cfg())
+    p2 = res.pass_result(2)
+    assert p2.per_node_candidates == [p2.n_candidates] * 4
+    assert p2.n_duplicated == p2.n_candidates
+
+
+def test_counting_needs_no_itemset_messages():
+    res = run_npa(DB, cfg())
+    assert res.pass_result(2).count_messages == 0
+
+
+@pytest.mark.parametrize("pager,n_mem", [("disk", 0), ("remote", 3), ("remote-update", 3)])
+def test_matches_sequential_under_paging(pager, n_mem):
+    limit = int(C2 * 24 * 0.6)  # below the full duplicated footprint
+    res = run_npa(
+        DB,
+        cfg(pager=pager, n_memory_nodes=n_mem, memory_limit_bytes=limit, max_k=2),
+    )
+    expected = {i: c for i, c in REF.large_itemsets.items() if len(i) <= 2}
+    assert res.large_itemsets == expected
+
+
+def test_npa_swaps_where_hpa_does_not():
+    """The paper's §2.2 motivation: HPA uses the cluster's aggregate
+    memory; NPA duplicates.  At a limit that holds 1/n of the candidates
+    comfortably, only NPA overflows."""
+    limit = int((C2 // 4) * 24 * 1.3)
+    hpa = run_hpa(
+        DB,
+        HPAConfig(
+            minsup=0.02, n_app_nodes=4, total_lines=256, seed=1, max_k=2,
+            pager="remote-update", n_memory_nodes=4, memory_limit_bytes=limit,
+        ),
+    ).pass_result(2)
+    npa = run_npa(
+        DB,
+        cfg(
+            pager="remote-update", n_memory_nodes=4,
+            memory_limit_bytes=limit, max_k=2,
+        ),
+    ).pass_result(2)
+    assert max(hpa.swap_outs_per_node) == 0
+    assert max(npa.swap_outs_per_node) > 0
+    assert npa.duration_s > 2 * hpa.duration_s
+
+
+def test_no_limit_run_never_faults():
+    res = run_npa(DB, cfg(pager="disk"))
+    for p in res.passes:
+        assert p.max_faults == 0
+
+
+def test_eld_fraction_rejected():
+    with pytest.raises(MiningError):
+        NPAConfig(eld_fraction=0.1)
+
+
+def test_single_node_npa_equals_hpa():
+    npa = run_npa(DB, cfg(n_app_nodes=1))
+    hpa = run_hpa(DB, HPAConfig(minsup=0.02, n_app_nodes=1, total_lines=256, seed=1))
+    assert npa.large_itemsets == hpa.large_itemsets
+
+
+def test_deterministic():
+    a = run_npa(DB, cfg(pager="disk", memory_limit_bytes=int(C2 * 24 * 0.6), max_k=2))
+    b = run_npa(DB, cfg(pager="disk", memory_limit_bytes=int(C2 * 24 * 0.6), max_k=2))
+    assert a.total_time_s == b.total_time_s
+
+
+def test_fewer_transactions_than_nodes_rejected():
+    tiny = generate("T5.I2.D10", n_items=30, seed=1)
+    with pytest.raises(MiningError):
+        NPARun(tiny, cfg(n_app_nodes=16))

@@ -1,0 +1,96 @@
+"""Tests for association-rule derivation."""
+
+import pytest
+
+from repro.datagen import TransactionDatabase
+from repro.errors import MiningError
+from repro.mining import apriori, derive_rules
+
+
+def mined():
+    txns = [
+        [0, 1, 2],
+        [0, 1],
+        [0, 1, 2],
+        [0, 1, 2],
+        [1, 2],
+        [0, 1],
+        [0, 1, 2],
+        [0, 2],
+        [1, 2],
+        [0, 1, 2],
+    ]
+    db = TransactionDatabase.from_lists(txns, n_items=3)
+    return db, apriori(db, minsup=0.3)
+
+
+def test_rule_confidence_exact():
+    db, res = mined()
+    rules = derive_rules(res.large_itemsets, len(db), min_confidence=0.5)
+    by_pair = {(r.antecedent, r.consequent): r for r in rules}
+    # support(0,1)=7, support(0)=8 -> conf(0 => 1) = 7/8
+    r = by_pair[((0,), (1,))]
+    assert r.confidence == pytest.approx(7 / 8)
+    assert r.support == pytest.approx(7 / 10)
+
+
+def test_min_confidence_filters():
+    db, res = mined()
+    all_rules = derive_rules(res.large_itemsets, len(db), min_confidence=0.01)
+    strict = derive_rules(res.large_itemsets, len(db), min_confidence=0.9)
+    assert len(strict) < len(all_rules)
+    assert all(r.confidence >= 0.9 for r in strict)
+
+
+def test_rules_sorted_by_confidence():
+    db, res = mined()
+    rules = derive_rules(res.large_itemsets, len(db), min_confidence=0.1)
+    confs = [r.confidence for r in rules]
+    assert confs == sorted(confs, reverse=True)
+
+
+def test_antecedent_consequent_partition_itemset():
+    db, res = mined()
+    for r in derive_rules(res.large_itemsets, len(db), min_confidence=0.1):
+        merged = tuple(sorted(r.antecedent + r.consequent))
+        assert merged in res.large_itemsets
+        assert not set(r.antecedent) & set(r.consequent)
+
+
+def test_missing_subset_detected():
+    # Not downward-closed: (0,1) present but (0,) missing.
+    with pytest.raises(MiningError):
+        derive_rules({(0, 1): 5, (1,): 7}, 10, min_confidence=0.1)
+
+
+def test_parameter_validation():
+    with pytest.raises(MiningError):
+        derive_rules({}, 10, min_confidence=0.0)
+    with pytest.raises(MiningError):
+        derive_rules({}, 0, min_confidence=0.5)
+
+
+def test_singletons_produce_no_rules():
+    assert derive_rules({(0,): 5, (1,): 3}, 10, min_confidence=0.1) == []
+
+
+def test_str_rendering():
+    db, res = mined()
+    rules = derive_rules(res.large_itemsets, len(db), min_confidence=0.5)
+    s = str(rules[0])
+    assert "=>" in s and "conf=" in s
+
+
+def test_lift_computed():
+    db, res = mined()
+    rules = derive_rules(res.large_itemsets, len(db), min_confidence=0.3)
+    by_pair = {(r.antecedent, r.consequent): r for r in rules}
+    r = by_pair[((0,), (1,))]
+    # conf(0=>1) = 7/8; P(1) = 9/10 -> lift = (7/8)/(9/10)
+    assert r.lift == pytest.approx((7 / 8) / (9 / 10))
+
+
+def test_lift_in_string():
+    db, res = mined()
+    rules = derive_rules(res.large_itemsets, len(db), min_confidence=0.5)
+    assert "lift=" in str(rules[0])

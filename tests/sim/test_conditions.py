@@ -1,0 +1,133 @@
+"""Tests for AllOf/AnyOf condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(3, value="b")
+        result = yield env.all_of([t1, t2])
+        return (env.now, result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (3, ["a", "b"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(10, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, result.values())
+
+    p = env.process(proc(env))
+    env.run(until=2)
+    assert p.value == (1, ["fast"])
+
+
+def test_and_operator():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.timeout(2, value=1) & env.timeout(1, value=2)
+        return sorted(result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == [1, 2]
+
+
+def test_or_operator():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.timeout(2, value=1) | env.timeout(1, value=2)
+        return result.values()
+
+    p = env.process(proc(env))
+    env.run(until=3)
+    assert p.value == [2]
+
+
+def test_empty_all_of_immediate():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.all_of([])
+        return (env.now, len(result))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (0, 0)
+
+
+def test_condition_value_mapping():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="x")
+        t2 = env.timeout(2, value="y")
+        result = yield env.all_of([t1, t2])
+        assert result[t1] == "x"
+        assert result[t2] == "y"
+        assert t1 in result
+        assert result.todict() == {t1: "x", t2: "y"}
+        with pytest.raises(KeyError):
+            result[env.event()]
+        yield env.timeout(0)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_failed_child_fails_condition():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield env.all_of([env.timeout(5), ev])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def firer(env):
+        yield env.timeout(1)
+        ev.fail(ValueError("child failed"))
+
+    env.process(proc(env))
+    env.process(firer(env))
+    env.run()
+    assert caught == ["child failed"]
+
+
+def test_cross_environment_events_rejected():
+    env1 = Environment()
+    env2 = Environment()
+    t1 = env1.timeout(1)
+    t2 = env2.timeout(1)
+    with pytest.raises(ValueError):
+        AllOf(env1, [t1, t2])
+
+
+def test_nested_condition_flattens():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value=1)
+        t2 = env.timeout(2, value=2)
+        t3 = env.timeout(3, value=3)
+        result = yield (t1 & t2) & t3
+        return sorted(result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == [1, 2, 3]

@@ -1,0 +1,174 @@
+"""Tests for generator-coroutine processes and interrupts."""
+
+import pytest
+
+from repro.errors import Interrupt
+from repro.sim import Environment
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 99
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 99
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_waits_on_process():
+    env = Environment()
+    trace = []
+
+    def child(env):
+        yield env.timeout(3)
+        trace.append(("child done", env.now))
+        return "payload"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        trace.append(("parent got " + value, env.now))
+
+    env.process(parent(env))
+    env.run()
+    assert trace == [("child done", 3), ("parent got payload", 3)]
+
+
+def test_yield_already_finished_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        return "x"
+
+    def parent(env, childproc):
+        yield env.timeout(10)
+        value = yield childproc
+        return value
+
+    c = env.process(child(env))
+    p = env.process(parent(env, c))
+    env.run()
+    assert p.value == "x"
+    assert env.now == 10
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            causes.append((intr.cause, env.now))
+
+    def attacker(env, target):
+        yield env.timeout(2)
+        target.interrupt("migration signal")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert causes == [("migration signal", 2)]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    trace = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            trace.append(("interrupted", env.now))
+        yield env.timeout(5)
+        trace.append(("resumed work done", env.now))
+
+    def attacker(env, target):
+        yield env.timeout(3)
+        target.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert trace == [("interrupted", 3), ("resumed work done", 8)]
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def proc(env):
+        me = env.active_process
+        with pytest.raises(RuntimeError):
+            me.interrupt()
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def proc(env):
+        yield "not an event"  # type: ignore[misc]
+
+    env.process(proc(env))
+    with pytest.raises(Exception):
+        env.run()
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_interrupt_unblocks_waiting_on_event():
+    env = Environment()
+    never = env.event()
+    trace = []
+
+    def victim(env):
+        try:
+            yield never
+        except Interrupt:
+            trace.append(env.now)
+
+    def attacker(env, target):
+        yield env.timeout(4)
+        target.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert trace == [4]
+    # The never-event must have lost its subscription to the dead process.
+    assert never.callbacks == []

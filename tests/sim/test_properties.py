@@ -1,0 +1,108 @@
+"""Property-based tests for the simulation kernel.
+
+Invariants: stores conserve items under arbitrary producer/consumer
+schedules; resources never exceed capacity and serve every request;
+the clock never runs backwards.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    puts=st.lists(
+        st.tuples(st.floats(0, 10), st.integers(0, 999)), min_size=1, max_size=30
+    ),
+    n_consumers=st.integers(1, 5),
+)
+def test_store_conserves_items(puts, n_consumers):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env, delay, item):
+        yield env.timeout(delay)
+        yield store.put(item)
+
+    def consumer(env, quota):
+        for _ in range(quota):
+            item = yield store.get()
+            received.append(item)
+
+    for delay, item in puts:
+        env.process(producer(env, delay, item))
+    base, extra = divmod(len(puts), n_consumers)
+    for i in range(n_consumers):
+        env.process(consumer(env, base + (1 if i < extra else 0)))
+    env.run()
+    assert sorted(received) == sorted(item for _, item in puts)
+    assert len(store) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    jobs=st.lists(
+        st.tuples(st.floats(0, 5), st.floats(0.01, 2)), min_size=1, max_size=25
+    ),
+    capacity=st.integers(1, 4),
+)
+def test_resource_never_oversubscribed_and_serves_all(jobs, capacity):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    served = []
+    max_seen = [0]
+
+    def job(env, arrive, hold):
+        yield env.timeout(arrive)
+        with res.request() as req:
+            yield req
+            max_seen[0] = max(max_seen[0], res.count)
+            assert res.count <= capacity
+            yield env.timeout(hold)
+        served.append(1)
+
+    for arrive, hold in jobs:
+        env.process(job(env, arrive, hold))
+    env.run()
+    assert len(served) == len(jobs)
+    assert max_seen[0] <= capacity
+    assert res.count == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    delays=st.lists(st.floats(0, 100), min_size=1, max_size=40),
+)
+def test_clock_monotone_under_any_schedule(delays):
+    env = Environment()
+    stamps = []
+
+    def proc(env, d):
+        yield env.timeout(d)
+        stamps.append(env.now)
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert stamps == sorted(stamps)
+    assert env.now == max(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    chain=st.lists(st.floats(0.01, 3), min_size=1, max_size=15),
+)
+def test_process_chain_total_time(chain):
+    """Sequential waits add exactly."""
+    env = Environment()
+
+    def proc(env):
+        for d in chain:
+            yield env.timeout(d)
+
+    env.process(proc(env))
+    env.run()
+    assert abs(env.now - sum(chain)) < 1e-9 * max(1.0, sum(chain))

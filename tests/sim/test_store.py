@@ -1,0 +1,193 @@
+"""Tests for Store, FilterStore, and PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, PriorityItem, PriorityStore, Store
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        times.append((item, env.now))
+
+    def producer(env, store):
+        yield env.timeout(5)
+        yield store.put("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert times == [("late", 5)]
+
+
+def test_bounded_store_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    trace = []
+
+    def producer(env, store):
+        yield store.put("a")
+        trace.append(("a stored", env.now))
+        yield store.put("b")
+        trace.append(("b stored", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(4)
+        item = yield store.get()
+        trace.append((f"got {item}", env.now))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert ("a stored", 0) in trace
+    assert ("b stored", 4) in trace
+
+
+def test_store_capacity_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env, store):
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(producer(env, store))
+    env.run()
+    assert len(store) == 2
+
+
+def test_multiple_consumers_fifo_service():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, store, name):
+        item = yield store.get()
+        got.append((name, item))
+
+    def producer(env, store):
+        yield env.timeout(1)
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(consumer(env, store, "c1"))
+    env.process(consumer(env, store, "c2"))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [("c1", "x"), ("c2", "y")]
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer(env, store):
+        yield store.put(1)
+        yield store.put(3)
+        yield store.put(4)
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [4]
+    assert store.items == [1, 3]
+
+
+def test_filter_store_waits_for_match():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get(lambda x: x == "wanted")
+        got.append((item, env.now))
+
+    def producer(env, store):
+        yield store.put("other")
+        yield env.timeout(7)
+        yield store.put("wanted")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [("wanted", 7)]
+
+
+def test_priority_store_orders():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def producer(env, store):
+        yield store.put(PriorityItem(3, "low"))
+        yield store.put(PriorityItem(1, "high"))
+        yield store.put(PriorityItem(2, "mid"))
+
+    def consumer(env, store):
+        yield env.timeout(1)
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item.item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == ["high", "mid", "low"]
+
+
+def test_priority_item_comparison():
+    assert PriorityItem(1, "a") < PriorityItem(2, "b")
+    assert PriorityItem(1, "a") == PriorityItem(1, "a")
+    assert PriorityItem(1, "a") != PriorityItem(1, "b")
+
+
+def test_get_cancel():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env, store):
+        req = store.get()
+        result = yield req | env.timeout(2)
+        if req not in result:
+            req.cancel()
+        yield env.timeout(0)
+
+    env.process(consumer(env, store))
+    env.run()
+    assert store._get_queue == []
