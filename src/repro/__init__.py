@@ -15,12 +15,15 @@ Public API tour:
 - :mod:`repro.sim` — the discrete-event kernel underneath it all.
 - :mod:`repro.harness` — the per-table/figure experiment runners
   (also exposed as the ``repro-bench`` command).
+- :mod:`repro.obs` — the telemetry subsystem: event bus, metrics
+  registry, trace export (``repro-bench --trace`` / ``repro-trace``).
 """
 
 from repro._version import __version__
 from repro.datagen import QuestParams, TransactionDatabase, generate
 from repro.mining import AprioriResult, Rule, apriori, derive_rules
 from repro.mining.hpa import HPAConfig, HPAResult, HPARun, run_hpa
+from repro.obs import Telemetry, telemetry_session
 
 __all__ = [
     "__version__",
@@ -35,4 +38,6 @@ __all__ = [
     "HPAResult",
     "HPARun",
     "run_hpa",
+    "Telemetry",
+    "telemetry_session",
 ]

@@ -53,6 +53,17 @@ class TraceCollector:
 
         return hook
 
+    def subscriber(self) -> Callable:
+        """Adapter for :class:`repro.obs.EventBus` subscription.
+
+        Uses the event's own timestamp (not ``env.now``) so the collector
+        stays correct even when replaying events from another run.
+        """
+        def on_event(ev) -> None:
+            self.events.append(TraceEvent(ev.time, ev.node_id, ev.kind, ev.detail))
+
+        return on_event
+
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """All events of one kind, in time order."""
         return [e for e in self.events if e.kind == kind]
@@ -133,9 +144,16 @@ class UtilizationSampler:
         return self._proc
 
     def stop(self) -> None:
-        """Stop sampling."""
+        """Stop sampling, taking one final snapshot at the stop time.
+
+        Without the closing sample the series would end at the last
+        periodic tick, silently dropping up to ``interval_s`` of the run
+        (including everything after the final pass's counting phase).
+        """
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("stop")
+        if not self.samples or self.samples[-1].time < self.cluster.env.now:
+            self.snapshot()
 
     def snapshot(self) -> UtilizationSample:
         """Take one sample immediately (also used by the loop)."""

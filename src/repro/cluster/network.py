@@ -106,6 +106,9 @@ class Network:
         self._ingress: dict[int, Resource] = {}
         self._msg_ids = count()
         self.stats = NetworkStats()
+        #: Telemetry event bus (wired by ``Telemetry.attach``); emits one
+        #: ``net-msg`` per delivery and one ``net-retransmit`` per loss.
+        self.bus = None
 
     def register(self, node_id: int) -> None:
         """Attach a node to the switch; idempotent."""
@@ -155,6 +158,12 @@ class Network:
             ):
                 # Segment lost (UBR cell drop): TCP retransmits after RTO.
                 self.stats.retransmissions += 1
+                if self.bus is not None:
+                    self.bus.emit(
+                        "net-retransmit", msg.src,
+                        f"msg {msg.msg_id} -> node {msg.dst} lost on {msg.channel}",
+                        dst=msg.dst, channel=msg.channel,
+                    )
                 yield self.env.timeout(self.retransmission_timeout_s)
                 continue
             break
@@ -162,6 +171,14 @@ class Network:
         yield self.env.timeout(self.nic.one_way_latency_s)
         msg.deliver_time = self.env.now
         self.stats.record(msg, wire_bytes)
+        if self.bus is not None:
+            self.bus.emit(
+                "net-msg", msg.src,
+                f"msg {msg.msg_id} -> node {msg.dst} on {msg.channel}",
+                dst=msg.dst, channel=msg.channel, size_bytes=msg.size_bytes,
+                wire_bytes=wire_bytes,
+                duration_s=msg.deliver_time - msg.send_time,
+            )
         return msg
 
     def egress_queue_length(self, node_id: int) -> int:

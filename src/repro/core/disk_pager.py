@@ -42,11 +42,14 @@ class DiskPager(Pager):
         self.table.set_disk(line.line_id)
         self.stats.swap_outs += 1
         self.stats.bytes_swapped_out += block
-        self._emit("swap-out", f"line {line.line_id} -> disk")
+        self._emit("swap-out", f"line {line.line_id} -> disk", bytes=block)
         return self._pay_evict(block)
 
     def _pay_evict(self, block: int) -> Generator:
+        start = self.node.env.now
         yield from self.node.swap_disk.write(block)
+        self._emit("swap-cost", "disk write", duration_s=self.node.env.now - start,
+                   bytes=block)
 
     def fault_in(self, line_id: int) -> Generator:
         if self.table.state(line_id) is not LineState.DISK:
@@ -58,8 +61,10 @@ class DiskPager(Pager):
         self.table.set_resident(line_id)
         self.stats.faults += 1
         self.stats.bytes_faulted_in += block
-        self.stats.fault_time_s += self.node.env.now - start
-        self._emit("fault", f"line {line_id} <- disk")
+        duration = self.node.env.now - start
+        self.stats.fault_time_s += duration
+        self._emit("fault", f"line {line_id} <- disk", duration_s=duration,
+                   bytes=block)
         return line
 
     def peek_line(self, line_id: int) -> Generator:

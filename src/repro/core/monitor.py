@@ -65,6 +65,8 @@ class MemoryMonitor:
         self._shortage = False
         self._proc: Optional[Process] = None
         self.broadcasts_sent = 0
+        #: Telemetry event bus (wired by ``Telemetry.attach``).
+        self.bus = None
 
     @property
     def shortage(self) -> bool:
@@ -86,6 +88,8 @@ class MemoryMonitor:
         all memory, and broadcast the shortage immediately."""
         self._shortage = True
         self.node.memory.set_external_pressure(self.node.memory.capacity_bytes)
+        if self.bus is not None:
+            self.bus.emit("shortage", self.node.node_id, "memory shortage signalled")
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("broadcast-now")
 
@@ -114,6 +118,13 @@ class MemoryMonitor:
             seq=self._seq,
             timestamp=self.node.env.now,
         )
+        if self.bus is not None:
+            self.bus.emit(
+                "monitor-broadcast", self.node.node_id,
+                f"seq {self._seq}: {available} B available",
+                available_bytes=available, shortage=self._shortage,
+                seq=self._seq,
+            )
         self._seq += 1
         for client in self.client_ids:
             # Assemble + send one message per application node.
@@ -145,6 +156,8 @@ class MonitorClient:
         self._shortage_seen: set[int] = set()
         self._proc: Optional[Process] = None
         self.reports_received = 0
+        #: Telemetry event bus (wired by ``Telemetry.attach``).
+        self.bus = None
 
     def start(self) -> Process:
         """Launch the receive loop; returns its process."""
@@ -211,6 +224,12 @@ class MonitorClient:
             self.reports_received += 1
             if info.shortage and info.node_id not in self._shortage_seen:
                 self._shortage_seen.add(info.node_id)
+                if self.bus is not None:
+                    self.bus.emit(
+                        "shortage-seen", self.node.node_id,
+                        f"node {info.node_id} reported shortage",
+                        src=info.node_id,
+                    )
                 for handler in self.shortage_handlers:
                     env.process(handler(info.node_id))
             elif not info.shortage:

@@ -22,6 +22,7 @@ from repro.mining.hash_table import HashLine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.node import Node
+    from repro.obs.events import EventBus
 
 __all__ = ["Pager", "PagerStats"]
 
@@ -65,14 +66,21 @@ class Pager(ABC):
         self.table = table
         self.cost = cost
         self.stats = PagerStats()
-        #: Optional instrumentation hook: called as
+        #: Legacy single-consumer instrumentation hook: called as
         #: ``on_event(kind, node_id, detail)`` for faults, evictions, and
         #: migrations (see :class:`repro.analysis.trace.TraceCollector`).
+        #: Superseded by :attr:`bus`, which fans out to any number of
+        #: subscribers and carries structured fields; both fire when set.
         self.on_event: Optional[Callable[[str, int, str], None]] = None
+        #: Telemetry event bus, wired by
+        #: :meth:`repro.obs.telemetry.Telemetry.attach`.
+        self.bus: "Optional[EventBus]" = None
 
-    def _emit(self, kind: str, detail: str = "") -> None:
+    def _emit(self, kind: str, detail: str = "", **fields) -> None:
         if self.on_event is not None:
             self.on_event(kind, self.node.node_id, detail)
+        if self.bus is not None:
+            self.bus.emit(kind, self.node.node_id, detail, source=self.name, **fields)
 
     @abstractmethod
     def evict(self, line: HashLine) -> Generator:

@@ -21,6 +21,9 @@ class PlacementPolicy(ABC):
     """Chooses which memory-available node receives the next swap-out."""
 
     name: str = "abstract"
+    #: Telemetry event bus (wired by ``Telemetry.attach``); each
+    #: successful choice emits one ``placement`` event.
+    bus = None
 
     @abstractmethod
     def choose(
@@ -33,6 +36,15 @@ class PlacementPolicy(ABC):
 
         Raises :class:`NoMemoryAvailable` when no candidate qualifies.
         """
+
+    def _chosen(self, client: MonitorClient, dst: int, needed_bytes: int) -> int:
+        if self.bus is not None:
+            self.bus.emit(
+                "placement", client.node.node_id,
+                f"{needed_bytes} B -> node {dst} ({self.name})",
+                dst=dst, needed_bytes=needed_bytes, policy=self.name,
+            )
+        return dst
 
 
 def _candidates(client: MonitorClient, needed_bytes: int, exclude: Iterable[int]) -> list[int]:
@@ -60,7 +72,8 @@ class MostAvailableFirst(PlacementPolicy):
                 f"no memory-available node can hold {needed_bytes} B "
                 f"(known: {sorted(client.table)})"
             )
-        return max(cands, key=lambda n: (client.table[n].available_bytes, -n))
+        dst = max(cands, key=lambda n: (client.table[n].available_bytes, -n))
+        return self._chosen(client, dst, needed_bytes)
 
 
 class RoundRobinPlacement(PlacementPolicy):
@@ -82,7 +95,7 @@ class RoundRobinPlacement(PlacementPolicy):
             )
         choice = cands[self._next % len(cands)]
         self._next += 1
-        return choice
+        return self._chosen(client, choice, needed_bytes)
 
 
 def make_placement(name: str) -> PlacementPolicy:

@@ -118,6 +118,10 @@ class RemoteMemoryPager(Pager):
             except NoMemoryAvailable:
                 if self.fallback is not None:
                     self.stats.placement_rejections += 1
+                    self._emit(
+                        "placement-reject",
+                        f"line {line.line_id}: no remote memory, disk fallback",
+                    )
                     return self.fallback.evict(line)
                 raise
             try:
@@ -126,19 +130,24 @@ class RemoteMemoryPager(Pager):
                 self.client.mark_full(dst)
                 exclude.add(dst)
                 self.stats.placement_rejections += 1
+                self._emit("placement-reject", f"node {dst} full", dst=dst)
                 continue
             break
         self.table.set_remote(line.line_id, dst, fixed=self.fixed)
         self.client.adjust_estimate(dst, -line.nbytes)
         self.stats.swap_outs += 1
         self.stats.bytes_swapped_out += block
-        self._emit("swap-out", f"line {line.line_id} -> node {dst}")
+        self._emit("swap-out", f"line {line.line_id} -> node {dst}",
+                   dst=dst, bytes=block)
         return self._pay_evict(dst, block)
 
     def _pay_evict(self, dst: int, block: int) -> Generator:
+        start = self.node.env.now
         dst_node = self.memory_nodes[dst]
         yield from self._send(self.node, dst_node, block)
         yield from dst_node.compute(self.cost.remote_store_service_s)
+        self._emit("swap-cost", f"store at node {dst}", dst=dst, bytes=block,
+                   duration_s=self.node.env.now - start)
 
     # -- fault in -------------------------------------------------------------
 
@@ -181,8 +190,10 @@ class RemoteMemoryPager(Pager):
         self.table.set_resident(line_id)
         self.stats.faults += 1
         self.stats.bytes_faulted_in += block
-        self.stats.fault_time_s += self.node.env.now - start
-        self._emit("fault", f"line {line_id} <- node {loc.node_id}")
+        duration = self.node.env.now - start
+        self.stats.fault_time_s += duration
+        self._emit("fault", f"line {line_id} <- node {loc.node_id}",
+                   holder=loc.node_id, duration_s=duration, bytes=block)
         return line
 
     # -- peek (determination phase) ----------------------------------------------
@@ -255,6 +266,7 @@ class RemoteMemoryPager(Pager):
                     self.client.mark_full(dst)
                     exclude.add(dst)
                     self.stats.placement_rejections += 1
+                    self._emit("placement-reject", f"node {dst} full", dst=dst)
                     continue
                 break
             self.table.set_remote(lid, dst, fixed=self.fixed)
@@ -266,6 +278,7 @@ class RemoteMemoryPager(Pager):
         self._emit(
             "migration",
             f"{len(line_ids)} lines off node {shortage_node}",
+            lines=len(line_ids), src=shortage_node,
         )
         yield from self._post_migration()
 

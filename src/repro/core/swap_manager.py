@@ -66,6 +66,9 @@ class SwapManager:
         self.pager = pager
         self.policy = policy if policy is not None else LRUPolicy()
         self.cost = cost if cost is not None else CostModel()
+        #: Telemetry event bus (wired by ``Telemetry.attach``); emits one
+        #: ``make-room`` event per eviction burst.
+        self.bus = None
         self.table = CandidateHashTable()
         self.mm_table = pager.table if pager is not None else MemoryManagementTable()
         self.resident_bytes = 0
@@ -213,7 +216,7 @@ class SwapManager:
         holder service only).
         """
         assert self.pager is not None
-        evicted_any = False
+        n_victims = 0
         while self.over_limit:
             if len(self.policy) == 0 or (len(self.policy) == 1 and pinned in self.policy):
                 # Nothing evictable: tolerate a single over-limit line
@@ -226,9 +229,15 @@ class SwapManager:
             # transfer cost runs in the background.
             payment = self.pager.evict(line)
             self._evictions.append(self.node.env.process(payment))
-            evicted_any = True
-        if evicted_any:
+            n_victims += 1
+        if n_victims:
             self._evictions = [p for p in self._evictions if p.is_alive]
+            if self.bus is not None:
+                self.bus.emit(
+                    "make-room", self.node.node_id,
+                    f"{n_victims} victims evicted", victims=n_victims,
+                    resident_bytes=self.resident_bytes,
+                )
 
     # -- determination-phase access ----------------------------------------------------
 

@@ -50,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write <DIR>/<experiment>.json with the raw data",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="collect full telemetry (events, metrics, Chrome trace, "
+        "manifest) for every run into <DIR>; summarize with repro-trace",
+    )
     return parser
 
 
@@ -69,19 +76,59 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    for name in names:
-        start = time.perf_counter()
-        report = ALL_EXPERIMENTS[name](args.scale)
-        elapsed = time.perf_counter() - start
-        print(report)
-        print(f"[{name} completed in {elapsed:.1f}s wall]")
-        print()
-        if args.json is not None:
-            import pathlib
+    telemetry = None
+    if args.trace is not None:
+        from repro.harness.experiments import _run_cached
+        from repro.obs import Telemetry, telemetry_session
 
-            out = pathlib.Path(args.json)
-            out.mkdir(parents=True, exist_ok=True)
-            (out / f"{name}.json").write_text(report.to_json())
+        # Cached runs would leave the trace empty; force real executions.
+        _run_cached.cache_clear()
+        telemetry = Telemetry()
+        session = telemetry_session(telemetry)
+    else:
+        from contextlib import nullcontext
+
+        session = nullcontext()
+
+    wall_start = time.perf_counter()
+    with session:
+        for name in names:
+            start = time.perf_counter()
+            report = ALL_EXPERIMENTS[name](args.scale)
+            elapsed = time.perf_counter() - start
+            print(report)
+            print(f"[{name} completed in {elapsed:.1f}s wall]")
+            print()
+            if args.json is not None:
+                import pathlib
+
+                out = pathlib.Path(args.json)
+                out.mkdir(parents=True, exist_ok=True)
+                (out / f"{name}.json").write_text(report.to_json())
+
+    if telemetry is not None:
+        import platform
+
+        import numpy
+
+        import repro
+        from repro.obs.export import write_trace_dir
+
+        manifest = {
+            "experiments": names,
+            "scale": args.scale,
+            "seed": SCALES[args.scale].seed,
+            "versions": {
+                "repro": getattr(repro, "__version__", "unknown"),
+                "python": platform.python_version(),
+                "numpy": numpy.__version__,
+            },
+            "wall_time_s": time.perf_counter() - wall_start,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        paths = write_trace_dir(args.trace, telemetry, manifest)
+        print(f"[trace written to {args.trace}: " +
+              ", ".join(sorted(p.name for p in paths.values())) + "]")
     return 0
 
 

@@ -53,6 +53,8 @@ from repro.mining.candidates import generate_candidates
 from repro.mining.itemsets import ITEMSET_BYTES, Itemset
 from repro.mining.partition import HashPartitioner
 from repro.analysis.trace import TraceCollector, UtilizationSampler
+from repro.obs import Telemetry, current_telemetry
+from repro.obs.telemetry import run_meta
 from repro.sim import Environment
 
 __all__ = ["HPAConfig", "HPAResult", "HPAPassResult", "HPARun", "run_hpa"]
@@ -226,6 +228,9 @@ class _SendWindow:
 class HPARun:
     """One fully-wired HPA execution over a simulated cluster."""
 
+    #: Manifest tag for telemetry run entries.
+    driver_name = "hpa"
+
     def __init__(self, db: TransactionDatabase, config: HPAConfig) -> None:
         if len(db) < config.n_app_nodes:
             raise MiningError("fewer transactions than application nodes")
@@ -292,9 +297,32 @@ class HPARun:
         #: Optional list of (virtual_time, mem_node_id) shortage signals
         #: injected during the run (Figure 5's experiment).
         self.shortage_schedule: list[tuple[float, int]] = []
-        #: Instrumentation (populated by :meth:`enable_instrumentation`).
+        #: Instrumentation (populated by :meth:`enable_telemetry` /
+        #: :meth:`enable_instrumentation`).
+        self.telemetry: Optional[Telemetry] = None
         self.trace: Optional[TraceCollector] = None
         self.sampler: Optional[UtilizationSampler] = None
+
+    def enable_telemetry(
+        self,
+        telemetry: Optional[Telemetry] = None,
+        sample_interval_s: Optional[float] = None,
+    ) -> Telemetry:
+        """Wire this run into a telemetry session (event bus + metrics).
+
+        With no argument a fresh private :class:`Telemetry` is created;
+        passing an existing one lets several consecutive runs share one
+        trace (how ``repro-bench --trace`` collects a whole sweep).
+        Hooks every event source, including disk-fallback pagers chained
+        behind remote ones.  Call before :meth:`run`.
+        """
+        if telemetry is None:
+            telemetry = Telemetry()
+        self.telemetry = telemetry
+        telemetry.attach(self, run_meta(self.driver_name, self.config))
+        if sample_interval_s is not None:
+            self.sampler = UtilizationSampler(self.cluster, sample_interval_s)
+        return telemetry
 
     def enable_instrumentation(
         self, sample_interval_s: Optional[float] = None
@@ -302,20 +330,28 @@ class HPARun:
         """Attach a :class:`TraceCollector` (and optionally a periodic
         :class:`UtilizationSampler`) to this run.
 
-        Pager events (faults, swap-outs, migrations) and phase boundaries
-        are recorded; call before :meth:`run`.
+        The collector is now one subscriber on the telemetry event bus —
+        pager events (faults, swap-outs, migrations), phase boundaries,
+        and everything else the bus carries are recorded; call before
+        :meth:`run`.
         """
-        self.trace = TraceCollector(self.env)
-        for pager in self.pagers.values():
-            if pager is not None:
-                pager.on_event = self.trace.record_hook()
-        if sample_interval_s is not None:
+        if self.telemetry is None:
+            self.enable_telemetry(sample_interval_s=sample_interval_s)
+        elif sample_interval_s is not None and self.sampler is None:
             self.sampler = UtilizationSampler(self.cluster, sample_interval_s)
+        self.trace = TraceCollector(self.env)
+        self.telemetry.bus.subscribe(self.trace.subscriber())
         return self.trace
 
     def _trace_phase(self, name: str) -> None:
-        if self.trace is not None:
+        if self.telemetry is not None:
+            self.telemetry.phase_mark(name)
+        elif self.trace is not None:
             self.trace.record(-1, "phase", name)
+
+    def _span(self, name: str, start: float, end: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.span(name, start, end)
 
     # -- public API --------------------------------------------------------
 
@@ -327,6 +363,10 @@ class HPARun:
         """
         if self.result is not None:
             raise MiningError("this run has already executed; build a new one")
+        if self.telemetry is None:
+            ambient = current_telemetry()
+            if ambient is not None:
+                self.enable_telemetry(ambient)
         for c in self.clients.values():
             c.start()
         for m in self.monitors.values():
@@ -342,9 +382,24 @@ class HPARun:
         for c in self.clients.values():
             c.stop()
         if self.sampler is not None:
-            self.sampler.snapshot()
+            # stop() takes the closing snapshot itself.
             self.sampler.stop()
         assert self.result is not None
+        if self.telemetry is not None:
+            faults = 0
+            fault_time = 0.0
+            for pager in self.pagers.values():
+                while pager is not None:
+                    faults += pager.stats.faults
+                    fault_time += pager.stats.fault_time_s
+                    pager = getattr(pager, "fallback", None)
+            self.telemetry.end_run(
+                total_time_s=self.result.total_time_s,
+                passes=len(self.result.passes),
+                n_large=len(self.result.large_itemsets),
+                faults=faults,
+                fault_time_s=fault_time,
+            )
         return self.result
 
     # -- orchestration ---------------------------------------------------------
@@ -383,6 +438,7 @@ class HPARun:
             (int(i),): int(global_counts[i]) for i in large_items
         }
         all_large.update(l_prev)
+        self._span("pass1", t0, self.env.now)
         passes.append(
             HPAPassResult(
                 k=1,
@@ -469,8 +525,10 @@ class HPARun:
         )
         t_candgen = self.env.now
         self._trace_phase(f"pass {k} candidates generated")
+        self._span(f"pass{k}/candgen", t0, t_candgen)
 
         if not candidates:
+            self._span(f"pass{k}", t0, self.env.now)
             return (
                 HPAPassResult(
                     k=k,
@@ -499,6 +557,7 @@ class HPARun:
         yield from self._barrier([self.managers[a].drain() for a in self.app_ids])
         t_count = self.env.now
         self._trace_phase(f"pass {k} counting done")
+        self._span(f"pass{k}/counting", t_candgen, t_count)
 
         # Phase 3: determination (+ the ELD all-reduce of duplicated
         # candidates' partial counts, when the variant is enabled).
@@ -514,6 +573,8 @@ class HPARun:
                 if count >= self.minsup_count:
                     l_now[itemset] = count
         t_det = self.env.now
+        self._span(f"pass{k}/determine", t_count, t_det)
+        self._span(f"pass{k}", t0, t_det)
 
         stats_after = {a: self._pager_snapshot(a) for a in self.app_ids}
         delta = {

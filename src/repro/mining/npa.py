@@ -25,6 +25,7 @@ from typing import Generator, Optional
 import numpy as np
 
 from repro.analysis.cost_model import CostModel, PAPER_COSTS
+from repro.analysis.trace import TraceCollector, UtilizationSampler
 from repro.cluster import Cluster
 from repro.core import (
     DiskPager,
@@ -41,8 +42,9 @@ from repro.core.policies import make_policy
 from repro.datagen.corpus import TransactionDatabase
 from repro.errors import MiningError
 from repro.mining.candidates import generate_candidates
-from repro.mining.hpa import HPAConfig, HPAPassResult, HPAResult, _SendWindow
+from repro.mining.hpa import HPAConfig, HPAPassResult, HPAResult, HPARun, _SendWindow
 from repro.mining.itemsets import ITEMSET_BYTES, Itemset, itemset_hash
+from repro.obs import Telemetry, current_telemetry
 from repro.sim import Environment
 
 __all__ = ["NPAConfig", "NPARun", "run_npa"]
@@ -63,6 +65,9 @@ class NPAConfig(HPAConfig):
 
 class NPARun:
     """One NPA execution over the simulated cluster."""
+
+    #: Manifest tag for telemetry run entries.
+    driver_name = "npa"
 
     def __init__(self, db: TransactionDatabase, config: NPAConfig) -> None:
         if len(db) < config.n_app_nodes:
@@ -126,6 +131,19 @@ class NPARun:
 
         self.result: Optional[HPAResult] = None
         self.shortage_schedule: list[tuple[float, int]] = []
+        #: Instrumentation — NPA shares HPA's whole telemetry surface
+        #: (bus wiring, trace collection, sampling) via the borrowed
+        #: methods below, so both drivers report through the same bus.
+        self.telemetry: Optional[Telemetry] = None
+        self.trace: Optional[TraceCollector] = None
+        self.sampler: Optional[UtilizationSampler] = None
+
+    # -- instrumentation (shared with HPA; same attribute surface) --------
+
+    enable_telemetry = HPARun.enable_telemetry
+    enable_instrumentation = HPARun.enable_instrumentation
+    _trace_phase = HPARun._trace_phase
+    _span = HPARun._span
 
     # -- public API --------------------------------------------------------
 
@@ -137,10 +155,16 @@ class NPARun:
         """
         if self.result is not None:
             raise MiningError("this run has already executed; build a new one")
+        if self.telemetry is None:
+            ambient = current_telemetry()
+            if ambient is not None:
+                self.enable_telemetry(ambient)
         for c in self.clients.values():
             c.start()
         for m in self.monitors.values():
             m.start()
+        if self.sampler is not None:
+            self.sampler.start()
         for t, node_id in self.shortage_schedule:
             self.env.process(self._shortage_injector(t, node_id))
         main = self.env.process(self._main())
@@ -149,7 +173,24 @@ class NPARun:
             m.stop()
         for c in self.clients.values():
             c.stop()
+        if self.sampler is not None:
+            self.sampler.stop()
         assert self.result is not None
+        if self.telemetry is not None:
+            faults = 0
+            fault_time = 0.0
+            for pager in self.pagers.values():
+                while pager is not None:
+                    faults += pager.stats.faults
+                    fault_time += pager.stats.fault_time_s
+                    pager = getattr(pager, "fallback", None)
+            self.telemetry.end_run(
+                total_time_s=self.result.total_time_s,
+                passes=len(self.result.passes),
+                n_large=len(self.result.large_itemsets),
+                faults=faults,
+                fault_time_s=fault_time,
+            )
         return self.result
 
     def _shortage_injector(self, at: float, node_id: int) -> Generator:
@@ -188,6 +229,7 @@ class NPARun:
             (int(i),): int(global_counts[i]) for i in large_items
         }
         all_large.update(l_prev)
+        self._span("pass1", t0, self.env.now)
         passes.append(
             HPAPassResult(
                 k=1, n_candidates=self.db.n_items, per_node_candidates=[],
@@ -216,6 +258,7 @@ class NPARun:
     def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
         cfg = self.config
         t0 = self.env.now
+        self._trace_phase(f"pass {k} start")
         candidates = generate_candidates(sorted(l_prev), k)
         with_lines = [(c, self._line_of(c)) for c in candidates]
 
@@ -226,8 +269,11 @@ class NPARun:
             [self._candgen_node(a, with_lines) for a in self.app_ids]
         )
         t_candgen = self.env.now
+        self._trace_phase(f"pass {k} candidates generated")
+        self._span(f"pass{k}/candgen", t0, t_candgen)
 
         if not candidates:
+            self._span(f"pass{k}", t0, self.env.now)
             return (
                 HPAPassResult(
                     k=k, n_candidates=0,
@@ -250,11 +296,15 @@ class NPARun:
         )
         yield from self._barrier([self.managers[a].drain() for a in self.app_ids])
         t_count = self.env.now
+        self._trace_phase(f"pass {k} counting done")
+        self._span(f"pass{k}/counting", t_candgen, t_count)
 
         # Phase 3: global reduction of the full count tables.
         merged = yield from self._reduce(len(candidates))
         l_now = {i: c for i, c in merged.items() if c >= self.minsup_count}
         t_det = self.env.now
+        self._span(f"pass{k}/determine", t_count, t_det)
+        self._span(f"pass{k}", t0, t_det)
 
         stats_after = {a: self._pager_snapshot(a) for a in self.app_ids}
         delta = {

@@ -1,0 +1,169 @@
+"""``repro-trace`` — summarize an exported trace directory.
+
+Usage::
+
+    repro-trace DIR              # manifest, per-phase timings, histograms
+    repro-trace DIR --histogram swap_roundtrip_s
+
+Renders per-phase breakdowns and latency histograms (Table 2 / Table 4
+style numbers) straight from the files ``repro-bench --trace`` wrote,
+via the same :mod:`repro.analysis.reporting` helpers the experiments
+use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.reporting import render_kv, render_table
+from repro.obs.export import read_events_jsonl, read_manifest, read_metrics_json
+
+__all__ = ["main", "build_parser", "summarize"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Summarize a trace directory written by repro-bench --trace.",
+    )
+    parser.add_argument("directory", help="trace directory (manifest.json, ...)")
+    parser.add_argument(
+        "--histogram",
+        default="pagefault_latency_s",
+        help="histogram metric to render (default: pagefault_latency_s)",
+    )
+    return parser
+
+
+def _merge_histograms(metrics: dict, name: str) -> dict:
+    """Fold every label set of histogram ``name`` into one bucket table."""
+    parts = [h for h in metrics.get("histograms", []) if h["name"] == name]
+    if not parts:
+        return {}
+    buckets = parts[0]["buckets"]
+    counts = [0] * (len(buckets) + 1)
+    total, total_sum = 0, 0.0
+    lo, hi = float("inf"), float("-inf")
+    for part in parts:
+        if part["buckets"] != buckets:
+            continue  # mixed bucketings cannot be merged bucket-wise
+        for i, c in enumerate(part["bucket_counts"]):
+            counts[i] += c
+        total += part["count"]
+        total_sum += part["sum"]
+        if part["count"]:
+            lo, hi = min(lo, part["min"]), max(hi, part["max"])
+    return {
+        "buckets": buckets,
+        "bucket_counts": counts,
+        "count": total,
+        "sum": total_sum,
+        "min": lo if total else 0.0,
+        "max": hi if total else 0.0,
+    }
+
+
+def _render_histogram(name: str, merged: dict) -> str:
+    if not merged or not merged["count"]:
+        return f"histogram {name!r}: no observations"
+    bounds = ["<= %g" % b for b in merged["buckets"]] + [
+        "> %g" % merged["buckets"][-1]
+    ]
+    peak = max(merged["bucket_counts"]) or 1
+    rows = [
+        (label, count, "#" * round(30 * count / peak))
+        for label, count in zip(bounds, merged["bucket_counts"])
+    ]
+    mean = merged["sum"] / merged["count"]
+    table = render_table(
+        ["bucket", "count", ""],
+        rows,
+        title=f"{name} — {merged['count']} observations, "
+        f"mean {mean * 1e3:.3f} ms, min {merged['min'] * 1e3:.3f} ms, "
+        f"max {merged['max'] * 1e3:.3f} ms",
+    )
+    return table
+
+
+def _phase_table(events) -> str:
+    spans: dict[str, list[float]] = {}
+    order: list[str] = []
+    for event in events:
+        if event.kind != "span":
+            continue
+        name = event.detail
+        if name not in spans:
+            spans[name] = []
+            order.append(name)
+        spans[name].append(event.fields.get("duration_s", 0.0))
+    if not spans:
+        return "no span events recorded"
+    rows = []
+    for name in order:
+        durations = spans[name]
+        rows.append(
+            (
+                name,
+                len(durations),
+                sum(durations),
+                sum(durations) / len(durations),
+            )
+        )
+    return render_table(
+        ["phase", "runs", "total [s]", "mean [s]"],
+        rows,
+        title="per-phase timings (virtual seconds, across all runs)",
+    )
+
+
+def _reported_fault_cost(manifest: dict) -> str:
+    faults = sum(r.get("faults", 0) for r in manifest.get("runs", []))
+    fault_time = sum(r.get("fault_time_s", 0.0) for r in manifest.get("runs", []))
+    if not faults:
+        return "runs reported no pagefaults"
+    return (
+        f"runs reported {faults} faults, "
+        f"mean {fault_time / faults * 1e3:.3f} ms each"
+    )
+
+
+def summarize(directory, histogram: str = "pagefault_latency_s") -> str:
+    """The full text report for one trace directory."""
+    directory = Path(directory)
+    manifest = read_manifest(directory / "manifest.json")
+    metrics = read_metrics_json(directory / "metrics.json")
+    events = read_events_jsonl(directory / "events.jsonl")
+    parts = [
+        render_kv(
+            {
+                "experiments": ", ".join(manifest.get("experiments", [])) or "?",
+                "scale": manifest.get("scale", "?"),
+                "seed": manifest.get("seed", "?"),
+                "runs": manifest.get("n_runs", len(manifest.get("runs", []))),
+                "events": manifest.get("n_events", len(events)),
+                "wall time [s]": manifest.get("wall_time_s", "?"),
+            },
+            title=f"trace {directory}",
+        ),
+        _phase_table(events),
+        _render_histogram(histogram, _merge_histograms(metrics, histogram)),
+        _reported_fault_cost(manifest),
+    ]
+    return "\n\n".join(parts)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    directory = Path(args.directory)
+    for required in ("manifest.json", "metrics.json", "events.jsonl"):
+        if not (directory / required).exists():
+            print(f"not a trace directory: missing {directory / required}", file=sys.stderr)
+            return 2
+    print(summarize(directory, args.histogram))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

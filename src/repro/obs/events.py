@@ -1,0 +1,89 @@
+"""The telemetry event bus.
+
+Every instrumented component publishes :class:`ObsEvent` records through
+one :class:`EventBus`; any number of subscribers (the in-memory event
+log, the metrics updater, a :class:`~repro.analysis.trace.TraceCollector`
+adapter, ...) receive each event synchronously.  This supersedes the old
+single ``Pager.on_event`` callback slot, which allowed exactly one
+consumer and was wired only by HPA.
+
+Emission is cheap when nobody listens: components hold ``bus = None``
+until a :class:`~repro.obs.telemetry.Telemetry` attaches, and ``emit``
+returns immediately with no subscribers, so uninstrumented runs pay one
+attribute check per event site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["ObsEvent", "EventBus", "Subscriber"]
+
+#: A bus subscriber: any callable accepting one :class:`ObsEvent`.
+Subscriber = Callable[["ObsEvent"], None]
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One timestamped, structured happening on one node.
+
+    ``fields`` carries machine-readable details (durations, byte counts,
+    peer node ids); ``detail`` stays the human-readable string the legacy
+    ``on_event`` hook carried.  ``node_id`` -1 means cluster-wide (phase
+    boundaries, spans).  ``run`` distinguishes events from different
+    simulation runs sharing one bus (each run's clock restarts at 0).
+    """
+
+    time: float
+    node_id: int
+    kind: str
+    detail: str = ""
+    run: int = 0
+    fields: dict = field(default_factory=dict)
+
+
+class EventBus:
+    """Multi-subscriber synchronous event dispatch.
+
+    The clock is pluggable so one bus can follow several consecutive
+    simulation environments (the ``repro-bench --trace`` path runs many
+    configurations through one bus, tagging each with a run id).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.run = 0
+        self._subscribers: list[Subscriber] = []
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Register ``fn`` to receive every subsequent event; returns it
+        (handy for later :meth:`unsubscribe`)."""
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        """Remove a subscriber; unknown subscribers are ignored."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self._subscribers)
+
+    def emit(self, kind: str, node_id: int, detail: str = "", **fields) -> None:
+        """Publish one event at the current clock time to all subscribers."""
+        if not self._subscribers:
+            return
+        event = ObsEvent(
+            time=self.clock(),
+            node_id=node_id,
+            kind=kind,
+            detail=detail,
+            run=self.run,
+            fields=fields,
+        )
+        for fn in self._subscribers:
+            fn(event)

@@ -134,3 +134,37 @@ def test_fault_rate_concentrated_in_counting_phase():
     in_counting = [e for e in faults if candgen_done <= e.time < counting_done]
     # The overwhelming share of faults happens while counting.
     assert len(in_counting) > 0.7 * len(faults)
+
+
+def test_sampler_stop_takes_final_snapshot():
+    env = Environment()
+    cluster = Cluster(env, 2)
+    sampler = UtilizationSampler(cluster, interval_s=1.0)
+
+    def main(env):
+        yield env.timeout(2.5)
+
+    sampler.start()
+    proc = env.process(main(env))
+    env.run(until=proc)
+    sampler.stop()
+    # Periodic ticks at 0, 1, 2 — plus the closing sample at 2.5, which
+    # the old stop() dropped (losing the tail of every run).
+    assert [s.time for s in sampler.samples] == [0.0, 1.0, 2.0, 2.5]
+    # Idempotent: a second stop must not duplicate the final sample.
+    sampler.stop()
+    assert [s.time for s in sampler.samples] == [0.0, 1.0, 2.0, 2.5]
+
+
+def test_collector_as_bus_subscriber():
+    from repro.obs import EventBus
+
+    env = Environment()
+    trace = TraceCollector(env)
+    bus = EventBus(clock=lambda: 4.2)
+    bus.subscribe(trace.subscriber())
+    bus.emit("fault", 3, "line 1", duration_s=0.002)
+    assert len(trace) == 1
+    ev = trace.events[0]
+    # The collector keeps the event's own time, kind, node and detail.
+    assert (ev.time, ev.node_id, ev.kind, ev.detail) == (4.2, 3, "fault", "line 1")

@@ -43,3 +43,35 @@ def test_json_output(tmp_path, capsys):
     payload = json.loads(out.read_text())
     assert payload["exp_id"] == "S52"
     assert "data" in payload
+
+
+def test_trace_output_end_to_end(tmp_path, capsys):
+    trace_dir = tmp_path / "trc"
+    assert main(["fig4", "--scale", "tiny", "--trace", str(trace_dir)]) == 0
+    assert "trace written" in capsys.readouterr().out
+    for artifact in ("manifest.json", "events.jsonl", "metrics.json", "trace.json"):
+        assert (trace_dir / artifact).exists()
+    import json
+
+    manifest = json.loads((trace_dir / "manifest.json").read_text())
+    assert manifest["experiments"] == ["fig4"]
+    assert manifest["scale"] == "tiny"
+    assert manifest["n_runs"] > 0
+    assert manifest["n_events"] > 0
+    assert all(r["driver"] in ("hpa", "npa") for r in manifest["runs"])
+
+    # The summarizer renders phase timings and the fault-latency histogram.
+    from repro.obs.cli import main as trace_main
+
+    assert trace_main([str(trace_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "per-phase timings" in out
+    assert "pagefault_latency_s" in out
+    assert "faults" in out
+
+
+def test_trace_cli_rejects_non_trace_dir(tmp_path, capsys):
+    from repro.obs.cli import main as trace_main
+
+    assert trace_main([str(tmp_path)]) == 2
+    assert "not a trace directory" in capsys.readouterr().err

@@ -1,0 +1,122 @@
+"""Tests for the event bus, the Telemetry runtime, and ambient sessions."""
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    ObsEvent,
+    Telemetry,
+    current_telemetry,
+    telemetry_session,
+)
+
+
+def test_multiple_subscribers_all_receive():
+    bus = EventBus()
+    seen_a, seen_b = [], []
+    bus.subscribe(seen_a.append)
+    bus.subscribe(seen_b.append)
+    bus.emit("fault", 3, "line 7", duration_s=0.002)
+    assert len(seen_a) == len(seen_b) == 1
+    ev = seen_a[0]
+    assert (ev.kind, ev.node_id, ev.detail) == ("fault", 3, "line 7")
+    assert ev.fields == {"duration_s": 0.002}
+
+
+def test_unsubscribe_and_no_subscriber_fast_path():
+    bus = EventBus()
+    # No subscribers: emit is a no-op, not an error.
+    bus.emit("fault", 0)
+    seen = []
+    fn = bus.subscribe(seen.append)
+    bus.unsubscribe(fn)
+    bus.unsubscribe(fn)  # unknown subscriber ignored
+    bus.emit("fault", 0)
+    assert seen == []
+    assert bus.n_subscribers == 0
+
+
+def test_clock_and_run_tagging():
+    t = {"now": 1.5}
+    bus = EventBus(clock=lambda: t["now"])
+    seen = []
+    bus.subscribe(seen.append)
+    bus.emit("a", 0)
+    bus.run = 1
+    t["now"] = 0.25  # a new run's clock restarts
+    bus.emit("b", 0)
+    assert (seen[0].time, seen[0].run) == (1.5, 0)
+    assert (seen[1].time, seen[1].run) == (0.25, 1)
+
+
+def test_telemetry_derives_metrics_from_events():
+    tel = Telemetry()
+    tel.bus.emit("fault", 2, "line 9 <- node 8", source="remote",
+                 duration_s=0.0023, bytes=4096)
+    tel.bus.emit("fault", 2, "line 4 <- disk", source="disk",
+                 duration_s=0.013, bytes=4096)
+    tel.bus.emit("swap-out", 2, "line 9 -> node 8", source="remote", bytes=4096)
+    tel.bus.emit("net-msg", 0, "", dst=1, channel="count",
+                 size_bytes=4096, wire_bytes=4192, duration_s=0.001)
+    tel.bus.emit("monitor-broadcast", 8, "", available_bytes=1 << 20)
+    r = tel.registry
+    assert r.counter("pagefaults", node=2, source="remote").value == 1
+    assert r.counter("pagefaults", node=2, source="disk").value == 1
+    assert r.counter("fault_bytes_in", node=2).value == 8192
+    assert r.counter("swap_outs", node=2, source="remote").value == 1
+    assert r.counter("net_messages", channel="count").value == 1
+    assert r.gauge("monitor_available_bytes", node=8).value == 1 << 20
+    hist = r.get("pagefault_latency_s", node=2, source="remote")
+    assert hist.count == 1 and hist.mean == pytest.approx(0.0023)
+    # The in-memory event log is itself a subscriber.
+    assert tel.counts_by_kind() == {
+        "fault": 2, "swap-out": 1, "net-msg": 1, "monitor-broadcast": 1,
+    }
+    assert len(tel.events_of_kind("fault")) == 2
+
+
+def test_phase_span_and_timer():
+    tel = Telemetry()
+    t = {"now": 0.0}
+    tel.bus.clock = lambda: t["now"]
+    tel.phase_mark("pass 2 start")
+    tel.span("pass2/counting", 1.0, 3.5)
+    with tel.timer("pass2/determine"):
+        t["now"] = 4.0
+    spans = tel.events_of_kind("span")
+    assert spans[0].fields["duration_s"] == pytest.approx(2.5)
+    assert spans[1].detail == "pass2/determine"
+    assert spans[1].fields["duration_s"] == pytest.approx(4.0)
+    assert tel.events_of_kind("phase")[0].detail == "pass 2 start"
+    # Spans also feed the span_s histogram.
+    merged = tel.registry.merged_histogram("span_s")
+    assert merged.count == 2
+
+
+def test_begin_and_end_run_bookkeeping():
+    tel = Telemetry()
+
+    class FakeEnv:
+        now = 7.0
+
+    run_id = tel.begin_run(FakeEnv(), {"driver": "hpa"})
+    assert run_id == 0
+    tel.bus.emit("fault", 0)
+    tel.end_run(total_time_s=12.5, faults=1)
+    assert tel.runs[0]["driver"] == "hpa"
+    assert tel.runs[0]["total_time_s"] == 12.5
+    assert tel.events[0].time == 7.0
+    assert tel.begin_run(FakeEnv(), None) == 1
+    assert tel.bus.run == 1
+
+
+def test_telemetry_session_is_ambient_and_nests():
+    assert current_telemetry() is None
+    outer, inner = Telemetry(), Telemetry()
+    with telemetry_session(outer) as t:
+        assert t is outer
+        assert current_telemetry() is outer
+        with telemetry_session(inner):
+            assert current_telemetry() is inner
+        assert current_telemetry() is outer
+    assert current_telemetry() is None

@@ -1,0 +1,105 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HarnessError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+
+
+def test_counter_monotonic():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(HarnessError):
+        c.inc(-1)
+
+
+def test_gauge_last_value():
+    g = Gauge()
+    g.set(10)
+    g.set(3)
+    assert g.value == 3
+    assert g.n_sets == 2
+
+
+def test_histogram_bucket_assignment():
+    h = Histogram(buckets=(1.0, 2.0, 5.0))
+    for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+        h.observe(v)
+    # bisect_left: a value equal to a bound lands in that bound's bucket.
+    assert h.bucket_counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.min == 0.5
+    assert h.max == 100.0
+    assert h.mean == pytest.approx(sum((0.5, 1.0, 1.5, 4.0, 100.0)) / 5)
+
+
+def test_histogram_percentiles_match_numpy():
+    rng = np.random.default_rng(7)
+    samples = rng.exponential(0.003, size=500)
+    h = Histogram(buckets=LATENCY_BUCKETS_S)
+    for s in samples:
+        h.observe(float(s))
+    for p in (0, 10, 50, 90, 99, 100):
+        assert h.percentile(p) == pytest.approx(float(np.percentile(samples, p)))
+    with pytest.raises(HarnessError):
+        h.percentile(101)
+
+
+def test_histogram_empty_and_validation():
+    h = Histogram(buckets=(1.0,))
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.percentile(50) == 0.0
+    with pytest.raises(HarnessError):
+        Histogram(buckets=())
+
+
+def test_registry_keyed_by_name_and_labels():
+    r = MetricsRegistry()
+    r.counter("pagefaults", node=0).inc()
+    r.counter("pagefaults", node=1).inc(2)
+    assert r.counter("pagefaults", node=0).value == 1
+    assert r.counter("pagefaults", node=1).value == 2
+    assert r.get("pagefaults", node=2) is None
+    assert len(r) == 2
+    # Same name as a different metric type is an error.
+    with pytest.raises(HarnessError):
+        r.gauge("pagefaults", node=0)
+
+
+def test_registry_collect_and_to_dict():
+    r = MetricsRegistry()
+    r.counter("msgs", channel="count").inc(3)
+    r.gauge("avail", node=8).set(12345)
+    r.histogram("lat", node=0).observe(0.002)
+    triples = r.collect("msgs")
+    assert len(triples) == 1
+    name, labels, metric = triples[0]
+    assert (name, labels, metric.value) == ("msgs", {"channel": "count"}, 3)
+    dump = r.to_dict()
+    assert [e["name"] for e in dump["counters"]] == ["msgs"]
+    assert [e["name"] for e in dump["gauges"]] == ["avail"]
+    hist = dump["histograms"][0]
+    assert hist["name"] == "lat"
+    assert hist["count"] == 1
+    assert hist["percentiles"]["p50"] == pytest.approx(0.002)
+
+
+def test_merged_histogram_folds_label_sets():
+    r = MetricsRegistry()
+    r.histogram("lat", buckets=(0.001, 0.01), node=0).observe(0.0005)
+    r.histogram("lat", buckets=(0.001, 0.01), node=1).observe(0.005)
+    r.histogram("lat", buckets=(0.001, 0.01), node=1).observe(0.5)
+    merged = r.merged_histogram("lat")
+    assert merged.count == 3
+    assert merged.bucket_counts == [1, 1, 1]
+    assert r.merged_histogram("nothing") is None
