@@ -1,0 +1,33 @@
+"""Benchmark HP: counting-kernel hot path, naive vs vectorized.
+
+Unlike the paper benchmarks this measures *host* wall-clock — the
+kernels must leave every simulated quantity untouched (checked via the
+result hash) and only make the simulation cheaper to execute.  Writes
+``BENCH_hotpath.json`` next to the working directory for the CI artifact.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import exp_hotpath
+from repro.harness.hotpath import write_hotpath_json
+
+
+def test_hotpath_speedup(benchmark, scale):
+    report = run_once(benchmark, exp_hotpath, scale)
+    print()
+    print(report)
+    data = report.data
+    path = write_hotpath_json(".", data)
+    print(f"[written {path}]")
+    # Non-negotiable at every scale: bit-identical simulated behaviour.
+    assert data["equivalent"], "kernel vs naive result-hash mismatch"
+    assert (
+        data["runs"]["naive"]["sim_pass2_s"] == data["runs"]["vector"]["sim_pass2_s"]
+    )
+    assert (
+        data["runs"]["naive"]["count_messages"]
+        == data["runs"]["vector"]["count_messages"]
+    )
+    # The >=3x acceptance target holds at the default scale; tiny runs are
+    # too short for wall-clock ratios to be meaningful.
+    if scale != "tiny":
+        assert data["counting_speedup"] >= data["target_counting_speedup"]

@@ -166,6 +166,29 @@ class SwapManager:
             return self.pager.buffer_update(line_id, itemset, 1)
         return self._count_slow(itemset, line_id)
 
+    def count_resident_bulk(self, itemset: Itemset, line_id: int, n: int) -> None:
+        """Fold ``n`` occurrences of one candidate in a single call.
+
+        Only valid on a pager-less node (every line permanently
+        resident): there the fast path of :meth:`count_itemset` never
+        yields, so occurrence order is unobservable and ``n`` separate
+        increments collapse to one.  Statistics advance exactly as the
+        per-occurrence path would have advanced them.
+        """
+        if self.pager is not None:
+            raise SwapError("bulk counting requires a pager-less node")
+        if n <= 0:
+            raise MiningError(f"bulk count must be positive, got {n}")
+        self.stats.counts += n
+        line = self.table.get(line_id)
+        if line is None or not line.increment(itemset, by=n):
+            raise MiningError(
+                f"itemset {itemset} routed to line {line_id} is not a "
+                f"candidate there"
+            )
+        self.policy.touch(line_id)
+        self.stats.fast_counts += n
+
     def _count_slow(self, itemset: Itemset, line_id: int) -> Generator:
         yield from self._ensure_resident(line_id)
         line = self.table.get(line_id)

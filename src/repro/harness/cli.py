@@ -51,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write <DIR>/<experiment>.json with the raw data",
     )
     parser.add_argument(
+        "--hotpath-json",
+        metavar="DIR",
+        default=None,
+        help="run the counting-kernel hot-path benchmark at --scale and "
+        "write <DIR>/BENCH_hotpath.json; exits non-zero if the kernel "
+        "and naive runs disagree",
+    )
+    parser.add_argument(
         "--trace",
         metavar="DIR",
         default=None,
@@ -63,6 +71,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.hotpath_json is not None:
+        from repro.harness.hotpath import (
+            render_hotpath,
+            run_hotpath,
+            write_hotpath_json,
+        )
+
+        data = run_hotpath(args.scale)
+        path = write_hotpath_json(args.hotpath_json, data)
+        print(render_hotpath(data))
+        print(f"[hotpath bench written to {path}]")
+        if not data["equivalent"]:
+            print(
+                "hotpath bench: kernel and naive runs disagree "
+                "(result-hash mismatch)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.experiment is None:
+            return 0
     if args.list or args.experiment is None:
         print("available experiments:")
         for name in ALL_EXPERIMENTS:

@@ -1,0 +1,149 @@
+"""Hot-path wall-clock benchmark: naive vs vectorized counting kernels.
+
+Runs the same HPA configuration twice — ``kernel="naive"`` and
+``kernel="vector"`` — and reports host wall-clock per phase, the pass-2
+counting speedup, and a result-equivalence hash covering everything the
+kernels must not change: mined itemsets, support counts, per-pass
+simulated times, and message counts.  ``repro-bench --hotpath-json DIR``
+writes the report as ``DIR/BENCH_hotpath.json`` so later PRs have a
+perf trajectory to regress against.
+
+Wall-clock here is *host* time (``time.perf_counter``), entirely
+distinct from the simulated virtual clock — see DESIGN.md's kernel-layer
+section for why the two must never mix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import time
+
+from repro.mining.hpa import HPAConfig, HPAResult, HPARun
+from repro.harness.scales import prepare_workload
+
+__all__ = ["result_hash", "run_hotpath", "write_hotpath_json", "render_hotpath"]
+
+#: Acceptance target: wall-clock speedup of the pass-2 counting phase at
+#: the default benchmark scale.
+TARGET_COUNTING_SPEEDUP = 3.0
+
+
+def result_hash(res: HPAResult) -> str:
+    """Digest of every kernel-invariant quantity of a run.
+
+    Covers the mined itemsets with exact support counts plus, per pass,
+    the simulated phase times and message counts.  Two runs differing
+    only in host wall-clock hash identically; any drift in results or
+    simulated behaviour changes the digest.
+    """
+    payload = {
+        "large": sorted(
+            (list(itemset), count) for itemset, count in res.large_itemsets.items()
+        ),
+        "passes": [
+            [
+                p.k,
+                p.n_candidates,
+                p.n_large,
+                p.duration_s,
+                p.candgen_time_s,
+                p.counting_time_s,
+                p.determine_time_s,
+                p.count_messages,
+                p.faults_per_node,
+                p.swap_outs_per_node,
+                p.update_msgs_per_node,
+                p.n_duplicated,
+            ]
+            for p in res.passes
+        ],
+        "total_time_s": res.total_time_s,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _one_run(scale_name: str, kernel: str) -> dict:
+    prep = prepare_workload(scale_name)
+    s = prep.scale
+    cfg = HPAConfig(
+        minsup=s.minsup,
+        n_app_nodes=s.n_app_nodes,
+        total_lines=s.total_lines,
+        max_k=2,  # pass 2 is the paper's (and the kernels') hot path
+        seed=s.seed,
+        kernel=kernel,
+    )
+    start = time.perf_counter()
+    res = HPARun(prep.db, cfg).run()
+    wall_s = time.perf_counter() - start
+    p2 = res.pass_result(2)
+    return {
+        "kernel": kernel,
+        "wall_s": wall_s,
+        "phases": {
+            "candgen_wall_s": p2.candgen_wall_s,
+            "counting_wall_s": p2.counting_wall_s,
+            "determine_wall_s": p2.determine_wall_s,
+        },
+        "sim_pass2_s": p2.duration_s,
+        "count_messages": p2.count_messages,
+        "n_large": len(res.large_itemsets),
+        "result_hash": result_hash(res),
+    }
+
+
+def run_hotpath(scale_name: str = "small") -> dict:
+    """Benchmark naive vs kernel counting at one scale; returns the
+    BENCH_hotpath.json payload."""
+    naive = _one_run(scale_name, "naive")
+    vector = _one_run(scale_name, "vector")
+    counting_speedup = (
+        naive["phases"]["counting_wall_s"] / vector["phases"]["counting_wall_s"]
+        if vector["phases"]["counting_wall_s"] > 0
+        else float("inf")
+    )
+    total_speedup = (
+        naive["wall_s"] / vector["wall_s"] if vector["wall_s"] > 0 else float("inf")
+    )
+    prep = prepare_workload(scale_name)
+    return {
+        "bench": "hotpath",
+        "scale": scale_name,
+        "workload": prep.scale.workload,
+        "target_counting_speedup": TARGET_COUNTING_SPEEDUP,
+        "runs": {"naive": naive, "vector": vector},
+        "counting_speedup": counting_speedup,
+        "total_speedup": total_speedup,
+        "equivalent": naive["result_hash"] == vector["result_hash"],
+    }
+
+
+def write_hotpath_json(out_dir: "str | pathlib.Path", data: dict) -> pathlib.Path:
+    """Write ``BENCH_hotpath.json`` under ``out_dir``; returns the path."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "BENCH_hotpath.json"
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+def render_hotpath(data: dict) -> str:
+    """Human-readable summary of a :func:`run_hotpath` payload."""
+    naive, vector = data["runs"]["naive"], data["runs"]["vector"]
+    lines = [
+        f"hotpath bench — scale {data['scale']} ({data['workload']})",
+        f"  pass-2 counting wall: naive {naive['phases']['counting_wall_s']:.3f}s"
+        f" -> vector {vector['phases']['counting_wall_s']:.3f}s"
+        f"  ({data['counting_speedup']:.1f}x, target"
+        f" {data['target_counting_speedup']:g}x)",
+        f"  total wall: naive {naive['wall_s']:.3f}s"
+        f" -> vector {vector['wall_s']:.3f}s  ({data['total_speedup']:.1f}x)",
+        f"  simulated pass-2 time: {vector['sim_pass2_s']:.4f}s"
+        f" (naive {naive['sim_pass2_s']:.4f}s — must be identical)",
+        f"  result hash: {'MATCH' if data['equivalent'] else 'MISMATCH'}"
+        f" ({vector['result_hash'][:16]}…)",
+    ]
+    return "\n".join(lines)

@@ -12,6 +12,14 @@ from repro.mining.itemsets import (
     k_subsets,
     make_itemset,
 )
+from repro.mining.kernels import (
+    OWNER_DUPLICATED,
+    CountingKernel,
+    OwnerStreams,
+    PrefixIndex,
+    count_candidates,
+    eld_scores,
+)
 from repro.mining.partition import HashPartitioner, SkewStats, skew_statistics
 from repro.mining.rules import Rule, derive_rules
 
@@ -32,6 +40,12 @@ __all__ = [
     "CandidateHashTable",
     "HashTree",
     "count_with_hash_tree",
+    "OWNER_DUPLICATED",
+    "CountingKernel",
+    "OwnerStreams",
+    "PrefixIndex",
+    "count_candidates",
+    "eld_scores",
     "LINE_HEADER_BYTES",
     "HashPartitioner",
     "SkewStats",

@@ -102,15 +102,16 @@ def apriori(
     percentages, e.g. "minimum support 0.7" meaning 0.7 %: pass
     ``0.007``).  ``max_k`` optionally caps the pass count (0 = unlimited).
     ``method`` selects the counting structure: ``"dict"`` (flat hash
-    table, default) or ``"hashtree"`` (the VLDB'94 hash tree).  The
-    iteration stops when a pass yields no large (or no candidate)
-    itemsets, exactly as described in §2.1.
+    table, default), ``"hashtree"`` (the VLDB'94 hash tree), or
+    ``"kernel"`` (the vectorized counting kernels of
+    :mod:`repro.mining.kernels`).  The iteration stops when a pass yields
+    no large (or no candidate) itemsets, exactly as described in §2.1.
     """
     if not 0.0 < minsup <= 1.0:
         raise MiningError(f"minsup must be in (0, 1], got {minsup}")
     if len(db) == 0:
         raise MiningError("cannot mine an empty database")
-    if method not in ("dict", "hashtree"):
+    if method not in ("dict", "hashtree", "kernel"):
         raise MiningError(f"unknown counting method {method!r}")
 
     minsup_count = max(1, int(np.ceil(minsup * len(db))))
@@ -130,6 +131,10 @@ def apriori(
             from repro.mining.hash_tree import count_with_hash_tree
 
             counts = count_with_hash_tree(db, candidates, k)
+        elif method == "kernel":
+            from repro.mining.kernels import count_candidates
+
+            counts = count_candidates(db, candidates, k)
         else:
             counts = _count_candidates(db, candidates, k)
         large_now = {i: c for i, c in counts.items() if c >= minsup_count}

@@ -7,7 +7,7 @@ k-2 items, then prune any candidate with a (k-1)-subset outside L_{k-1}.
 
 from __future__ import annotations
 
-from itertools import combinations
+from itertools import combinations, islice
 from typing import Iterable, Sequence
 
 from repro.errors import MiningError
@@ -40,14 +40,20 @@ def join(large_prev: Sequence[Itemset], k: int) -> list[Itemset]:
 
 
 def prune(candidates: Iterable[Itemset], large_prev: Iterable[Itemset], k: int) -> list[Itemset]:
-    """Prune step: drop candidates with an infrequent (k-1)-subset."""
+    """Prune step: drop candidates with an infrequent (k-1)-subset.
+
+    ``candidates`` must come from :func:`join` (as in apriori-gen): the
+    two join parents of each candidate are then members of
+    ``large_prev`` by construction and are skipped, not re-checked.
+    """
     prev_set = set(large_prev)
     out: list[Itemset] = []
     for cand in candidates:
-        # The two subsets formed by dropping the last or second-to-last
-        # item are the join parents and are frequent by construction; we
-        # still check them all for simplicity and safety.
-        if all(sub in prev_set for sub in combinations(cand, k - 1)):
+        # combinations(cand, k-1) yields the drop-last and
+        # drop-second-to-last subsets first — exactly the two join
+        # parents, frequent by construction — so the check starts at the
+        # third subset.
+        if all(sub in prev_set for sub in islice(combinations(cand, k - 1), 2, None)):
             out.append(cand)
     return out
 

@@ -165,12 +165,25 @@ def count_with_hash_tree(
     k: int,
     fanout: int = 8,
     leaf_capacity: int = 16,
+    backend: str = "tree",
 ) -> dict[Itemset, int]:
     """Count candidate supports by one database scan through a hash tree.
 
     Equivalent to dictionary counting; used by
     ``apriori(..., method="hashtree")`` and by the structure tests.
+    ``backend="kernel"`` answers the same query through the vectorized
+    counting kernels instead of walking the tree — same counts, useful
+    as a fast cross-check of either structure.
     """
+    if backend not in ("tree", "kernel"):
+        raise MiningError(f"unknown hash-tree backend {backend!r}")
+    candidates = list(candidates)
+    if backend == "kernel":
+        from repro.mining.kernels import count_candidates
+
+        if not candidates:
+            return {}
+        return count_candidates(db, candidates, k)
     tree = HashTree(k, fanout=fanout, leaf_capacity=leaf_capacity)
     for cand in candidates:
         tree.insert(cand)

@@ -27,6 +27,7 @@ Apriori.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Generator, Optional
@@ -51,6 +52,12 @@ from repro.datagen.corpus import TransactionDatabase
 from repro.errors import MiningError
 from repro.mining.candidates import generate_candidates
 from repro.mining.itemsets import ITEMSET_BYTES, Itemset
+from repro.mining.kernels import (
+    OWNER_DUPLICATED,
+    CountingKernel,
+    OwnerStreams,
+    eld_scores,
+)
 from repro.mining.partition import HashPartitioner
 from repro.analysis.trace import TraceCollector, UtilizationSampler
 from repro.obs import Telemetry, current_telemetry
@@ -97,6 +104,13 @@ class HPAConfig:
     #: UBR cell-loss probability per message attempt (companion-study
     #: extension); lost segments are retransmitted after TCP's RTO.
     loss_probability: float = 0.0
+    #: Counting-kernel selection: ``"vector"`` runs the hot path through
+    #: :mod:`repro.mining.kernels` (vectorized pair generation, candidate
+    #: prefix index, precomputed routing); ``"naive"`` keeps the
+    #: per-occurrence ``combinations`` loop.  Results, simulated times,
+    #: and message counts are bit-identical — only host wall-clock
+    #: differs (pinned by the kernel-equivalence tests).
+    kernel: str = "vector"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.minsup <= 1.0:
@@ -121,6 +135,8 @@ class HPAConfig:
             raise MiningError(
                 f"loss_probability must be in [0, 1), got {self.loss_probability}"
             )
+        if self.kernel not in ("vector", "naive"):
+            raise MiningError(f"unknown kernel {self.kernel!r}")
 
 
 @dataclass
@@ -142,6 +158,12 @@ class HPAPassResult:
     fault_time_per_node: list[float] = field(default_factory=list)
     n_duplicated: int = 0
     count_messages: int = 0
+    #: Host wall-clock spent executing each phase (real seconds, NOT
+    #: simulated time) — the quantity the counting kernels improve.
+    #: Excluded from every equivalence comparison.
+    candgen_wall_s: float = 0.0
+    counting_wall_s: float = 0.0
+    determine_wall_s: float = 0.0
 
     @property
     def duration_s(self) -> float:
@@ -472,6 +494,7 @@ class HPARun:
     def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
         cfg = self.config
         t0 = self.env.now
+        w0 = time.perf_counter()
         self._trace_phase(f"pass {k} start")
 
         # Generate the candidate set once (every node computes it in the
@@ -481,31 +504,38 @@ class HPARun:
 
         # HPA-ELD: duplicate the candidates with the highest estimated
         # frequency on every node; they are counted locally and never
-        # routed, removing the heaviest share of itemset traffic.
+        # routed, removing the heaviest share of itemset traffic.  The
+        # ranking key (min support over (k-1)-subsets) is computed once
+        # per candidate, not once per comparison.
         dup_set: set[Itemset] = set()
         if cfg.eld_fraction > 0 and candidates:
             n_dup = int(cfg.eld_fraction * len(candidates))
             if n_dup:
+                scores = eld_scores(candidates, l_prev, k)
                 ranked = sorted(
-                    candidates,
-                    key=lambda c: min(
-                        l_prev.get(sub, 0) for sub in combinations(c, k - 1)
-                    ),
-                    reverse=True,
+                    range(len(candidates)), key=scores.__getitem__, reverse=True
                 )
-                dup_set = set(ranked[:n_dup])
+                dup_set = {candidates[i] for i in ranked[:n_dup]}
 
+        # Routing is resolved once per candidate here; the counting phase
+        # never re-hashes `line_of`/`node_of_line` per occurrence.
         per_node_cands = [0] * cfg.n_app_nodes
         node_candidates: list[list[tuple[Itemset, int]]] = [
             [] for _ in range(cfg.n_app_nodes)
         ]
+        entries: list[tuple[Itemset, int, Optional[int]]] = []
         for cand in candidates:
             if cand in dup_set:
+                entries.append((cand, -1, OWNER_DUPLICATED))
                 continue
             line = self.partitioner.line_of(cand)
             owner = self.partitioner.node_of_line(line)
             per_node_cands[owner] += 1
             node_candidates[owner].append((cand, line))
+            entries.append((cand, line, owner))
+        kernel: Optional[CountingKernel] = None
+        if cfg.kernel == "vector" and candidates:
+            kernel = CountingKernel(k, self.db.n_items, entries)
         dup_counts: list[dict[Itemset, int]] = [
             dict.fromkeys(dup_set, 0) for _ in range(cfg.n_app_nodes)
         ]
@@ -524,6 +554,7 @@ class HPARun:
             ]
         )
         t_candgen = self.env.now
+        w_candgen = time.perf_counter()
         self._trace_phase(f"pass {k} candidates generated")
         self._span(f"pass{k}/candgen", t0, t_candgen)
 
@@ -538,6 +569,7 @@ class HPARun:
                     start_time=t0,
                     end_time=self.env.now,
                     candgen_time_s=t_candgen - t0,
+                    candgen_wall_s=w_candgen - w0,
                 ),
                 {},
             )
@@ -547,15 +579,16 @@ class HPARun:
         l1_mask = self._l1_mask(l_prev) if k == 2 else None
         counting = []
         for a in self.app_ids:
-            counting.append(self._receiver_node(a, k))
+            counting.append(self._receiver_node(a, k, kernel))
             counting.append(
-                self._sender_node(a, k, l_prev_keys, l1_mask, dup_counts[a])
+                self._sender_node(a, k, l_prev_keys, l1_mask, dup_counts[a], kernel)
             )
         outcomes = yield from self._barrier(counting)
         n_count_messages = sum(v for v in outcomes if isinstance(v, int))
         # Settle outstanding update messages before reading counts.
         yield from self._barrier([self.managers[a].drain() for a in self.app_ids])
         t_count = self.env.now
+        w_count = time.perf_counter()
         self._trace_phase(f"pass {k} counting done")
         self._span(f"pass{k}/counting", t_candgen, t_count)
 
@@ -573,6 +606,7 @@ class HPARun:
                 if count >= self.minsup_count:
                     l_now[itemset] = count
         t_det = self.env.now
+        w_det = time.perf_counter()
         self._span(f"pass{k}/determine", t_count, t_det)
         self._span(f"pass{k}", t0, t_det)
 
@@ -605,6 +639,9 @@ class HPARun:
                 fault_time_per_node=[delta[a][3] for a in self.app_ids],
                 n_duplicated=len(dup_set),
                 count_messages=n_count_messages,
+                candgen_wall_s=w_candgen - w0,
+                counting_wall_s=w_count - w_candgen,
+                determine_wall_s=w_det - w_count,
             ),
             l_now,
         )
@@ -739,13 +776,46 @@ class HPARun:
             )
 
     def _sender_node(
-        self, a: int, k: int, l_prev_keys: set, l1_mask, dup_counts=None
+        self, a: int, k: int, l_prev_keys: set, l1_mask, dup_counts=None,
+        kernel: Optional[CountingKernel] = None,
     ) -> Generator:
         """Scan transactions, route k-subsets, count local ones inline.
 
-        Returns the number of count messages this sender shipped.
+        Returns the number of count messages this sender shipped.  With a
+        kernel the hot path is vectorized (dense pair codes for k == 2,
+        prefix-index subset walk for k >= 3); every simulated quantity —
+        CPU charged, message boundaries and order, pagefault behaviour —
+        is identical to the naive path.
         """
         dup_counts = dup_counts if dup_counts is not None else {}
+        if kernel is None:
+            return (
+                yield from self._sender_naive(a, k, l_prev_keys, l1_mask, dup_counts)
+            )
+        if kernel.dense:
+            if self.managers[a].pager is None:
+                return (
+                    yield from self._sender_pairs_bulk(a, kernel, l1_mask, dup_counts)
+                )
+            return (
+                yield from self._sender_pairs_ordered(a, kernel, l1_mask, dup_counts)
+            )
+        return (yield from self._sender_subsets(a, kernel, dup_counts))
+
+    def _sender_blocks(self, a: int):
+        """(start, end) transaction ranges of one 64 KB disk block each
+        (shared geometry of every sender variant)."""
+        part = self.partitions[a]
+        cost = self.config.cost
+        n = len(part)
+        avg_txn_bytes = max(1.0, part.size_bytes() / max(1, n))
+        txns_per_block = max(1, int(cost.disk_io_block_bytes / avg_txn_bytes))
+        return [(i, min(n, i + txns_per_block)) for i in range(0, n, txns_per_block)]
+
+    def _sender_naive(
+        self, a: int, k: int, l_prev_keys: set, l1_mask, dup_counts
+    ) -> Generator:
+        """The reference per-occurrence sender (``kernel="naive"``)."""
         n_messages = 0
         part = self.partitions[a]
         node = self.cluster[a]
@@ -755,13 +825,7 @@ class HPARun:
         items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
         buffers: dict[int, list] = {b: [] for b in self.app_ids if b != a}
 
-        n = len(part)
-        avg_txn_bytes = max(1.0, part.size_bytes() / max(1, n))
-        txns_per_block = max(1, int(cost.disk_io_block_bytes / avg_txn_bytes))
-
-        i = 0
-        while i < n:
-            j = min(n, i + txns_per_block)
+        for i, j in self._sender_blocks(a):
             yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
             generated = 0
             local_counted = 0
@@ -795,11 +859,15 @@ class HPARun:
                         buf = buffers[owner]
                         buf.append(itemset)
                         if len(buf) >= items_per_msg:
-                            buffers[owner] = []
+                            # Snapshot the payload and reuse the buffer
+                            # (its capacity survives the clear) instead of
+                            # allocating a fresh list per flushed block.
+                            payload = buf[:]
+                            del buf[:]
                             n_messages += 1
                             yield from window.post(
                                 self.cluster.transport.send(
-                                    a, owner, "count", buf,
+                                    a, owner, "count", payload,
                                     cost.message_block_bytes,
                                 )
                             )
@@ -809,7 +877,6 @@ class HPARun:
             )
             if cpu > 0:
                 yield from node.compute(cpu)
-            i = j
 
         # Flush partial buffers and close streams.
         for b, buf in buffers.items():
@@ -827,27 +894,278 @@ class HPARun:
         yield from window.drain()
         return n_messages
 
-    def _receiver_node(self, a: int, k: int) -> Generator:
-        """Count itemsets arriving from the other nodes' senders."""
+    def _sender_pairs_bulk(
+        self, a: int, kernel: CountingKernel, l1_mask, dup_counts
+    ) -> Generator:
+        """k == 2 sender, no pager: fully vectorized block processing.
+
+        Without a pager the fast counting path never yields, so the
+        occurrence order of local counts is unobservable in virtual time;
+        they are accumulated as pair codes and folded in bulk at the end.
+        Remote occurrences still ship at the naive sender's exact message
+        boundaries and order (:class:`OwnerStreams`), as ``int64`` code
+        arrays the receiver decodes.
+        """
+        n_messages = 0
+        part = self.partitions[a]
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        window = _SendWindow(self.env, self.config.send_window)
+        items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
+        dests = [b for b in self.app_ids if b != a]
+        streams = OwnerStreams(dests, items_per_msg)
+        offsets = part.offsets
+        local_codes: list[np.ndarray] = []
+        dup_codes: list[np.ndarray] = []
+
+        for i, j in self._sender_blocks(a):
+            yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
+            block = part.items[offsets[i] : offsets[j]]
+            rel = offsets[i : j + 1] - offsets[i]
+            codes = kernel.pair_block(block, rel, l1_mask)
+            generated = int(codes.size)
+            local_counted = 0
+            if generated:
+                owners = kernel.owners_of(codes)
+                dup_sel = owners == OWNER_DUPLICATED
+                loc_sel = owners == a
+                rem_sel = ~(dup_sel | loc_sel)
+                if dup_sel.any():
+                    dup_codes.append(codes[dup_sel])
+                if loc_sel.any():
+                    local_codes.append(codes[loc_sel])
+                local_counted = int(dup_sel.sum() + loc_sel.sum())
+                if rem_sel.any():
+                    for owner, payload in streams.extend(
+                        codes[rem_sel], owners[rem_sel]
+                    ):
+                        n_messages += 1
+                        yield from window.post(
+                            self.cluster.transport.send(
+                                a, owner, "count", payload,
+                                cost.message_block_bytes,
+                            )
+                        )
+            cpu = (
+                cost.cpu_generate_per_itemset_s * generated
+                + cost.cpu_count_per_itemset_s * local_counted
+            )
+            if cpu > 0:
+                yield from node.compute(cpu)
+
+        for b, payload in streams.residual():
+            n_messages += 1
+            yield from window.post(
+                self.cluster.transport.send(
+                    a, b, "count", payload, ITEMSET_BYTES * len(payload)
+                )
+            )
+        for b in dests:
+            yield from window.post(
+                self.cluster.transport.send(a, b, "count", _EOF, 16)
+            )
+        yield from window.drain()
+        kernel.apply_local_pairs(mgr, local_codes)
+        kernel.fold_dup_pairs(dup_counts, dup_codes)
+        return n_messages
+
+    def _sender_pairs_ordered(
+        self, a: int, kernel: CountingKernel, l1_mask, dup_counts
+    ) -> Generator:
+        """k == 2 sender with a pager: vectorized generation and routing,
+        per-occurrence counting loop preserved.
+
+        Pagefaults and LRU touches depend on occurrence order, so every
+        local count still goes through ``mgr.count_itemset`` in emission
+        order; only the subset generation and route lookups are batched.
+        """
+        n_messages = 0
+        part = self.partitions[a]
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        window = _SendWindow(self.env, self.config.send_window)
+        items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
+        buffers: dict[int, list] = {b: [] for b in self.app_ids if b != a}
+        offsets = part.offsets
+
+        for i, j in self._sender_blocks(a):
+            yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
+            block = part.items[offsets[i] : offsets[j]]
+            rel = offsets[i : j + 1] - offsets[i]
+            codes = kernel.pair_block(block, rel, l1_mask)
+            generated = int(codes.size)
+            local_counted = 0
+            if generated:
+                owners = kernel.owners_of(codes).tolist()
+                lines = kernel.lines_of(codes).tolist()
+                pairs = kernel.decode_pairs(codes)
+                code_list = codes.tolist()
+                for idx in range(generated):
+                    owner = owners[idx]
+                    if owner == OWNER_DUPLICATED:
+                        dup_counts[pairs[idx]] += 1
+                        local_counted += 1
+                    elif owner == a:
+                        op = mgr.count_itemset(pairs[idx], lines[idx])
+                        if op is not None:
+                            yield from op
+                        local_counted += 1
+                    else:
+                        buf = buffers[owner]
+                        buf.append(code_list[idx])
+                        if len(buf) >= items_per_msg:
+                            payload = np.array(buf, dtype=np.int64)
+                            del buf[:]
+                            n_messages += 1
+                            yield from window.post(
+                                self.cluster.transport.send(
+                                    a, owner, "count", payload,
+                                    cost.message_block_bytes,
+                                )
+                            )
+            cpu = (
+                cost.cpu_generate_per_itemset_s * generated
+                + cost.cpu_count_per_itemset_s * local_counted
+            )
+            if cpu > 0:
+                yield from node.compute(cpu)
+
+        for b, buf in buffers.items():
+            if buf:
+                n_messages += 1
+                yield from window.post(
+                    self.cluster.transport.send(
+                        a, b, "count", np.array(buf, dtype=np.int64),
+                        ITEMSET_BYTES * len(buf),
+                    )
+                )
+        for b in buffers:
+            yield from window.post(
+                self.cluster.transport.send(a, b, "count", _EOF, 16)
+            )
+        yield from window.drain()
+        return n_messages
+
+    def _sender_subsets(
+        self, a: int, kernel: CountingKernel, dup_counts
+    ) -> Generator:
+        """k >= 3 (or oversized-universe k == 2) sender: prefix-index
+        subset walk plus precomputed routing, per-occurrence loop."""
+        n_messages = 0
+        part = self.partitions[a]
+        node = self.cluster[a]
+        mgr = self.managers[a]
+        cost = self.config.cost
+        window = _SendWindow(self.env, self.config.send_window)
+        items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
+        buffers: dict[int, list] = {b: [] for b in self.app_ids if b != a}
+
+        for i, j in self._sender_blocks(a):
+            yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
+            generated = 0
+            local_counted = 0
+            for t in range(i, j):
+                for itemset in kernel.subsets_of(part[t]):
+                    generated += 1
+                    if itemset in dup_counts:
+                        dup_counts[itemset] += 1
+                        local_counted += 1
+                        continue
+                    line, owner = kernel.route_of(itemset)
+                    if owner == a:
+                        op = mgr.count_itemset(itemset, line)
+                        if op is not None:
+                            yield from op
+                        local_counted += 1
+                    else:
+                        buf = buffers[owner]
+                        buf.append(itemset)
+                        if len(buf) >= items_per_msg:
+                            payload = buf[:]
+                            del buf[:]
+                            n_messages += 1
+                            yield from window.post(
+                                self.cluster.transport.send(
+                                    a, owner, "count", payload,
+                                    cost.message_block_bytes,
+                                )
+                            )
+            cpu = (
+                cost.cpu_generate_per_itemset_s * generated
+                + cost.cpu_count_per_itemset_s * local_counted
+            )
+            if cpu > 0:
+                yield from node.compute(cpu)
+
+        for b, buf in buffers.items():
+            if buf:
+                n_messages += 1
+                yield from window.post(
+                    self.cluster.transport.send(
+                        a, b, "count", buf, ITEMSET_BYTES * len(buf)
+                    )
+                )
+        for b in buffers:
+            yield from window.post(
+                self.cluster.transport.send(a, b, "count", _EOF, 16)
+            )
+        yield from window.drain()
+        return n_messages
+
+    def _receiver_node(
+        self, a: int, k: int, kernel: Optional[CountingKernel] = None
+    ) -> Generator:
+        """Count itemsets arriving from the other nodes' senders.
+
+        Kernel senders ship dense pair codes as ``int64`` arrays; tuple
+        lists arrive from the naive and k >= 3 paths.  Without a pager
+        the decoded codes are accumulated and folded in bulk once every
+        stream has closed (occurrence order is unobservable then); with a
+        pager each occurrence is counted in arrival order.
+        """
         node = self.cluster[a]
         mgr = self.managers[a]
         cost = self.config.cost
         transport = self.cluster.transport
         remaining_eofs = len(self.app_ids) - 1
+        bulk = kernel is not None and kernel.dense and mgr.pager is None
+        pending: list[np.ndarray] = []
         while remaining_eofs > 0:
             msg = yield transport.recv(a, "count")
-            if msg.payload == _EOF:
+            payload = msg.payload
+            if isinstance(payload, str):  # _EOF
                 remaining_eofs -= 1
                 continue
-            items = msg.payload
             yield from node.compute(
-                cost.cpu_per_message_s + cost.cpu_count_per_itemset_s * len(items)
+                cost.cpu_per_message_s + cost.cpu_count_per_itemset_s * len(payload)
             )
-            for itemset in items:
-                line = self.partitioner.line_of(itemset)
-                op = mgr.count_itemset(itemset, line)
-                if op is not None:
-                    yield from op
+            if isinstance(payload, np.ndarray):
+                assert kernel is not None
+                if bulk:
+                    pending.append(payload)
+                    continue
+                lines = kernel.lines_of(payload).tolist()
+                for itemset, line in zip(kernel.decode_pairs(payload), lines):
+                    op = mgr.count_itemset(itemset, line)
+                    if op is not None:
+                        yield from op
+            elif kernel is not None:
+                for itemset in payload:
+                    line, _ = kernel.route_of(itemset)
+                    op = mgr.count_itemset(itemset, line)
+                    if op is not None:
+                        yield from op
+            else:
+                for itemset in payload:
+                    line = self.partitioner.line_of(itemset)
+                    op = mgr.count_itemset(itemset, line)
+                    if op is not None:
+                        yield from op
+        if pending:
+            assert kernel is not None
+            kernel.apply_local_pairs(mgr, pending)
 
     def _determine_node(self, a: int) -> Generator:
         """Find locally large itemsets and broadcast them."""

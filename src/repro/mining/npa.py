@@ -18,6 +18,7 @@ owns every line) and in its counting/reduction phases.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Generator, Optional
@@ -44,6 +45,7 @@ from repro.errors import MiningError
 from repro.mining.candidates import generate_candidates
 from repro.mining.hpa import HPAConfig, HPAPassResult, HPAResult, HPARun, _SendWindow
 from repro.mining.itemsets import ITEMSET_BYTES, Itemset, itemset_hash
+from repro.mining.kernels import CountingKernel
 from repro.obs import Telemetry, current_telemetry
 from repro.sim import Environment
 
@@ -258,9 +260,17 @@ class NPARun:
     def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
         cfg = self.config
         t0 = self.env.now
+        w0 = time.perf_counter()
         self._trace_phase(f"pass {k} start")
         candidates = generate_candidates(sorted(l_prev), k)
         with_lines = [(c, self._line_of(c)) for c in candidates]
+        # Every candidate is local in NPA: entries carry no owner, only
+        # the precomputed hash line the counting loop would re-derive.
+        kernel: Optional[CountingKernel] = None
+        if cfg.kernel == "vector" and candidates:
+            kernel = CountingKernel(
+                k, self.db.n_items, [(c, line, None) for c, line in with_lines]
+            )
 
         stats_before = {a: self._pager_snapshot(a) for a in self.app_ids}
 
@@ -269,6 +279,7 @@ class NPARun:
             [self._candgen_node(a, with_lines) for a in self.app_ids]
         )
         t_candgen = self.env.now
+        w_candgen = time.perf_counter()
         self._trace_phase(f"pass {k} candidates generated")
         self._span(f"pass{k}/candgen", t0, t_candgen)
 
@@ -280,6 +291,7 @@ class NPARun:
                     per_node_candidates=[0] * cfg.n_app_nodes, n_large=0,
                     start_time=t0, end_time=self.env.now,
                     candgen_time_s=t_candgen - t0,
+                    candgen_wall_s=w_candgen - w0,
                 ),
                 {},
             )
@@ -292,10 +304,14 @@ class NPARun:
             for itemset in l_prev:
                 l1_mask[itemset[0]] = True
         yield from self._barrier(
-            [self._count_node(a, k, l_prev_keys, l1_mask) for a in self.app_ids]
+            [
+                self._count_node(a, k, l_prev_keys, l1_mask, kernel)
+                for a in self.app_ids
+            ]
         )
         yield from self._barrier([self.managers[a].drain() for a in self.app_ids])
         t_count = self.env.now
+        w_count = time.perf_counter()
         self._trace_phase(f"pass {k} counting done")
         self._span(f"pass{k}/counting", t_candgen, t_count)
 
@@ -303,6 +319,7 @@ class NPARun:
         merged = yield from self._reduce(len(candidates))
         l_now = {i: c for i, c in merged.items() if c >= self.minsup_count}
         t_det = self.env.now
+        w_det = time.perf_counter()
         self._span(f"pass{k}/determine", t_count, t_det)
         self._span(f"pass{k}", t0, t_det)
 
@@ -335,6 +352,9 @@ class NPARun:
                 fault_time_per_node=[delta[a][3] for a in self.app_ids],
                 n_duplicated=len(candidates),
                 count_messages=0,
+                candgen_wall_s=w_candgen - w0,
+                counting_wall_s=w_count - w_candgen,
+                determine_wall_s=w_det - w_count,
             ),
             l_now,
         )
@@ -393,7 +413,10 @@ class NPARun:
                 cost.cpu_count_per_itemset_s * (inserted % _CPU_CHUNK)
             )
 
-    def _count_node(self, a: int, k: int, l_prev_keys: set, l1_mask) -> Generator:
+    def _count_node(
+        self, a: int, k: int, l_prev_keys: set, l1_mask,
+        kernel: Optional[CountingKernel] = None,
+    ) -> Generator:
         part = self.partitions[a]
         node = self.cluster[a]
         mgr = self.managers[a]
@@ -401,32 +424,66 @@ class NPARun:
         n = len(part)
         avg = max(1.0, part.size_bytes() / max(1, n))
         per_block = max(1, int(cost.disk_io_block_bytes / avg))
+        # Vectorized pair counting: without a pager occurrence order is
+        # unobservable (the fast path never yields), so pair codes are
+        # accumulated per block and folded in bulk after the scan.
+        bulk = kernel is not None and kernel.dense and mgr.pager is None
+        pending: list[np.ndarray] = []
+        offsets = part.offsets
         i = 0
         while i < n:
             j = min(n, i + per_block)
             yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
             counted = 0
-            for t in range(i, j):
-                txn = part[t]
-                if k == 2:
-                    subsets = combinations(txn[l1_mask[txn]].tolist(), 2)
-                else:
-                    subsets = (
-                        s
-                        for s in combinations(txn.tolist(), k)
-                        if all(sub in l_prev_keys for sub in combinations(s, k - 1))
-                    )
-                for itemset in subsets:
-                    counted += 1
-                    op = mgr.count_itemset(itemset, self._line_of(itemset))
-                    if op is not None:
-                        yield from op
+            if kernel is not None and kernel.dense:
+                block = part.items[offsets[i] : offsets[j]]
+                rel = offsets[i : j + 1] - offsets[i]
+                codes = kernel.pair_block(block, rel, l1_mask)
+                counted = int(codes.size)
+                if counted and bulk:
+                    pending.append(codes)
+                elif counted:
+                    lines = kernel.lines_of(codes).tolist()
+                    for itemset, line in zip(kernel.decode_pairs(codes), lines):
+                        op = mgr.count_itemset(itemset, line)
+                        if op is not None:
+                            yield from op
+            elif kernel is not None:
+                for t in range(i, j):
+                    for itemset in kernel.subsets_of(part[t]):
+                        counted += 1
+                        line, _ = kernel.route_of(itemset)
+                        op = mgr.count_itemset(itemset, line)
+                        if op is not None:
+                            yield from op
+            else:
+                for t in range(i, j):
+                    txn = part[t]
+                    if k == 2:
+                        subsets = combinations(txn[l1_mask[txn]].tolist(), 2)
+                    else:
+                        subsets = (
+                            s
+                            for s in combinations(txn.tolist(), k)
+                            if all(
+                                sub in l_prev_keys
+                                for sub in combinations(s, k - 1)
+                            )
+                        )
+                    for itemset in subsets:
+                        counted += 1
+                        op = mgr.count_itemset(itemset, self._line_of(itemset))
+                        if op is not None:
+                            yield from op
             if counted:
                 yield from node.compute(
                     (cost.cpu_generate_per_itemset_s + cost.cpu_count_per_itemset_s)
                     * counted
                 )
             i = j
+        if pending:
+            assert kernel is not None
+            kernel.apply_local_pairs(mgr, pending)
 
     def _reduce(self, n_candidates: int) -> Generator:
         """Gather every node's full count table at node 0, merge, broadcast.

@@ -1,0 +1,71 @@
+"""Tests for the hot-path wall-clock benchmark harness."""
+
+import json
+
+from repro.harness import cli
+from repro.harness.hotpath import (
+    render_hotpath,
+    result_hash,
+    run_hotpath,
+    write_hotpath_json,
+)
+from repro.harness.scales import SCALES
+from repro.mining.hpa import HPAConfig, run_hpa
+from repro.harness.scales import prepare_workload
+
+
+def test_run_hotpath_tiny_equivalent():
+    data = run_hotpath("tiny")
+    assert data["equivalent"]
+    assert data["scale"] == "tiny"
+    assert data["workload"] == SCALES["tiny"].workload
+    runs = data["runs"]
+    assert runs["naive"]["sim_pass2_s"] == runs["vector"]["sim_pass2_s"]
+    assert runs["naive"]["count_messages"] == runs["vector"]["count_messages"]
+    assert runs["naive"]["n_large"] == runs["vector"]["n_large"]
+    assert data["counting_speedup"] > 0
+    # Rendering mentions the verdict the CI job keys on.
+    assert "MATCH" in render_hotpath(data)
+
+
+def test_result_hash_sensitive_to_results():
+    prep = prepare_workload("tiny")
+    s = prep.scale
+    base = dict(
+        minsup=s.minsup,
+        n_app_nodes=s.n_app_nodes,
+        total_lines=s.total_lines,
+        max_k=2,
+        seed=s.seed,
+    )
+    res = run_hpa(prep.db, HPAConfig(**base))
+    assert result_hash(res) == result_hash(res)
+    other = run_hpa(prep.db, HPAConfig(**{**base, "minsup": s.minsup * 2}))
+    assert result_hash(res) != result_hash(other)
+
+
+def test_write_hotpath_json(tmp_path):
+    data = run_hotpath("tiny")
+    path = write_hotpath_json(tmp_path, data)
+    assert path.name == "BENCH_hotpath.json"
+    loaded = json.loads(path.read_text())
+    assert loaded["equivalent"] is True
+    assert loaded["runs"]["vector"]["phases"]["counting_wall_s"] >= 0
+
+
+def test_cli_hotpath_json(tmp_path, capsys):
+    code = cli.main(["--hotpath-json", str(tmp_path), "--scale", "tiny"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hotpath bench" in out
+    assert (tmp_path / "BENCH_hotpath.json").exists()
+
+
+def test_cli_hotpath_then_experiment(tmp_path, capsys):
+    code = cli.main(
+        ["table3", "--hotpath-json", str(tmp_path), "--scale", "tiny"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hotpath bench" in out
+    assert "Table 3" in out

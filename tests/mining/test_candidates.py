@@ -60,3 +60,31 @@ def test_generate_candidates_sorted_output():
 
 def test_generate_candidates_empty_input():
     assert generate_candidates([], 2) == []
+
+
+def test_prune_skip_of_join_parents_is_exhaustive():
+    """prune() skips the two (k-1)-subsets the join already guarantees;
+    the output must equal checking every subset anyway."""
+    from itertools import combinations
+
+    import random
+
+    from repro.mining.candidates import join
+
+    rng = random.Random(3)
+    for _ in range(50):
+        universe = range(12)
+        large2 = sorted(
+            set(
+                tuple(sorted(rng.sample(universe, 2)))
+                for _ in range(rng.randint(0, 30))
+            )
+        )
+        large_set = set(large2)
+        candidates = join(large2, 3)
+        exhaustive = [
+            cand
+            for cand in candidates
+            if all(sub in large_set for sub in combinations(cand, 2))
+        ]
+        assert prune(candidates, large2, 3) == exhaustive
