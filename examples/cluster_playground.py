@@ -6,8 +6,10 @@ network's latency/throughput (calibrated to the paper's measured 0.5 ms
 RTT and ~120 Mbps), disk access times, and NIC contention when many
 senders converge on one receiver (the root cause of Figure 3's knee).
 
-Run:  python examples/cluster_playground.py
+Run:  python examples/cluster_playground.py  (add --fast for a tiny run)
 """
+
+import sys
 
 from repro.cluster import BARRACUDA_7200, DK3E1T_12000, Cluster
 from repro.sim import Environment
@@ -32,7 +34,7 @@ def fan_in(env, cluster, senders, dst, size, n_msgs, done):
         env.process(one(src))
 
 
-def main() -> None:
+def main(fast: bool = False) -> None:
     env = Environment()
     cluster = Cluster(env, 9)
 
@@ -46,7 +48,7 @@ def main() -> None:
     # -- effective throughput (paper: ~120 Mbps) --
     env = Environment()
     cluster = Cluster(env, 9)
-    n, size = 500, 65536
+    n, size = (50 if fast else 500), 65536
 
     def stream(env, cluster):
         for _ in range(n):
@@ -62,9 +64,10 @@ def main() -> None:
     env = Environment()
     cluster = Cluster(env, 9)
     done: list[float] = []
-    fan_in(env, cluster, list(range(8)), 8, 4096, 50, done)
+    n_msgs = 10 if fast else 50
+    fan_in(env, cluster, list(range(8)), 8, 4096, n_msgs, done)
     env.run()
-    solo = 50 * (4096 + 96) * 8 / 120e6
+    solo = n_msgs * (4096 + 96) * 8 / 120e6
     print(f"8-into-1 fan-in        : {max(done):.3f} s for what one pair "
           f"does in {solo:.3f} s -> ingress NIC serialises "
           f"{max(done) / solo:.1f}x (Figure 3's bottleneck)")
@@ -77,4 +80,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv)

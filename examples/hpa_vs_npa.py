@@ -9,8 +9,10 @@ example puts both under the same per-node memory-usage limit and shows
 NPA's duplicated candidates overflowing into remote memory long before
 HPA's 1/n share does.
 
-Run:  python examples/hpa_vs_npa.py
+Run:  python examples/hpa_vs_npa.py          (add --fast for a tiny run)
 """
+
+import sys
 
 from repro import HPAConfig, apriori, generate, run_hpa
 from repro.mining.npa import NPAConfig, run_npa
@@ -20,21 +22,32 @@ N_ITEMS = 250
 MINSUP = 0.01
 N_APP = 4
 N_MEM = 8
+LINES = 4096
+
+FAST = dict(workload="T8.I3.D300", n_items=120, minsup=0.02,
+            n_app=2, n_mem=2, lines=512)
 
 
-def main() -> None:
-    db = generate(WORKLOAD, n_items=N_ITEMS, seed=42)
-    ref = apriori(db, minsup=MINSUP, max_k=2)
+def main(fast: bool = False) -> None:
+    workload = FAST["workload"] if fast else WORKLOAD
+    n_items = FAST["n_items"] if fast else N_ITEMS
+    minsup = FAST["minsup"] if fast else MINSUP
+    n_app = FAST["n_app"] if fast else N_APP
+    n_mem = FAST["n_mem"] if fast else N_MEM
+    lines = FAST["lines"] if fast else LINES
+
+    db = generate(workload, n_items=n_items, seed=42)
+    ref = apriori(db, minsup=minsup, max_k=2)
     c2 = ref.passes[1].n_candidates
-    print(f"{WORKLOAD}: {c2} candidate 2-itemsets")
-    print(f"  HPA per node : ~{c2 // N_APP * 24 // 1024} KB (1/{N_APP} of the set)")
+    print(f"{workload}: {c2} candidate 2-itemsets")
+    print(f"  HPA per node : ~{c2 // n_app * 24 // 1024} KB (1/{n_app} of the set)")
     print(f"  NPA per node : ~{c2 * 24 // 1024} KB (the whole set)\n")
 
     # A limit sized so HPA fits comfortably and NPA does not.
-    limit = int((c2 / N_APP) * 24 * 1.6)
+    limit = int((c2 / n_app) * 24 * 1.6)
     common = dict(
-        minsup=MINSUP, n_app_nodes=N_APP, total_lines=4096, max_k=2, seed=42,
-        pager="remote-update", n_memory_nodes=N_MEM, memory_limit_bytes=limit,
+        minsup=minsup, n_app_nodes=n_app, total_lines=lines, max_k=2, seed=42,
+        pager="remote-update", n_memory_nodes=n_mem, memory_limit_bytes=limit,
     )
 
     hpa = run_hpa(db, HPAConfig(**common))
@@ -67,4 +80,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv)

@@ -7,8 +7,10 @@ Builds a product catalogue, generates correlated baskets, mines them in
 parallel on the simulated cluster, and prints the strongest rules with
 product names.
 
-Run:  python examples/market_basket.py
+Run:  python examples/market_basket.py       (add --fast for a tiny run)
 """
+
+import sys
 
 import numpy as np
 
@@ -32,17 +34,19 @@ def build_catalogue(n_items: int) -> list[str]:
     ]
 
 
-def main() -> None:
-    n_items = 200
+def main(fast: bool = False) -> None:
+    n_items = 60 if fast else 200
     names = build_catalogue(n_items)
     # The Quest generator's pattern pool plays the role of co-purchase
     # behaviour; low item count keeps the names meaningful.
-    db = generate("T8.I3.D3K", n_items=n_items, seed=20260704)
+    workload = "T6.I2.D300" if fast else "T8.I3.D3K"
+    db = generate(workload, n_items=n_items, seed=20260704)
     print(f"{len(db)} baskets, {n_items} products, "
           f"avg basket size {db.avg_txn_len:.1f}")
 
     # Mine on a simulated 4-node cluster.
-    res = run_hpa(db, HPAConfig(minsup=0.015, n_app_nodes=4, total_lines=2048))
+    lines = 512 if fast else 2048
+    res = run_hpa(db, HPAConfig(minsup=0.015, n_app_nodes=4, total_lines=lines))
     print(f"{len(res.large_itemsets)} frequent itemsets "
           f"(virtual cluster time {res.total_time_s:.2f}s)")
 
@@ -64,4 +68,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv)

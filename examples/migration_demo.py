@@ -7,8 +7,10 @@ monitors broadcast the shortage, the application nodes send migration
 directions, and the swapped-out hash lines move to the remaining
 holders — with negligible effect on execution time and none on results.
 
-Run:  python examples/migration_demo.py
+Run:  python examples/migration_demo.py      (add --fast for a tiny run)
 """
+
+import sys
 
 from repro import HPAConfig, apriori, generate
 from repro.mining.hpa import HPARun
@@ -19,12 +21,17 @@ MINSUP = 0.01
 N_APP = 4
 N_MEM = 6
 
+FAST = dict(workload="T8.I3.D300", n_items=120, minsup=0.02,
+            n_app=2, n_mem=4, lines=512)
 
-def build_run(limit: int, shortages) -> HPARun:
-    db = generate(WORKLOAD, n_items=N_ITEMS, seed=42)
+
+def build_run(params: dict, limit: int, shortages) -> HPARun:
+    db = generate(params["workload"], n_items=params["n_items"], seed=42)
     cfg = HPAConfig(
-        minsup=MINSUP, n_app_nodes=N_APP, total_lines=4096, max_k=2,
-        pager="remote-update", n_memory_nodes=N_MEM, memory_limit_bytes=limit,
+        minsup=params["minsup"], n_app_nodes=params["n_app"],
+        total_lines=params["lines"], max_k=2,
+        pager="remote-update", n_memory_nodes=params["n_mem"],
+        memory_limit_bytes=limit,
     )
     run = HPARun(db, cfg)
     for t, idx in shortages:
@@ -32,13 +39,17 @@ def build_run(limit: int, shortages) -> HPARun:
     return run
 
 
-def main() -> None:
-    db = generate(WORKLOAD, n_items=N_ITEMS, seed=42)
-    ref = apriori(db, minsup=MINSUP, max_k=2)
-    limit = int((ref.passes[1].n_candidates / N_APP) * 24 * 1.1 * 0.8)
+def main(fast: bool = False) -> None:
+    params = FAST if fast else dict(
+        workload=WORKLOAD, n_items=N_ITEMS, minsup=MINSUP,
+        n_app=N_APP, n_mem=N_MEM, lines=4096,
+    )
+    db = generate(params["workload"], n_items=params["n_items"], seed=42)
+    ref = apriori(db, minsup=params["minsup"], max_k=2)
+    limit = int((ref.passes[1].n_candidates / params["n_app"]) * 24 * 1.1 * 0.8)
 
     # Baseline: all memory nodes stay available.
-    base = build_run(limit, [])
+    base = build_run(params, limit, [])
     base_res = base.run()
     p2 = base_res.pass_result(2)
     print(f"baseline      : pass 2 = {p2.duration_s:6.3f}s virtual, "
@@ -47,7 +58,7 @@ def main() -> None:
     # Two shortages land mid-counting.
     t1 = p2.start_time + 0.4 * p2.duration_s
     t2 = p2.start_time + 0.6 * p2.duration_s
-    run = build_run(limit, [(t1, 0), (t2, 1)])
+    run = build_run(params, limit, [(t1, 0), (t2, 1)])
     res = run.run()
     q2 = res.pass_result(2)
 
@@ -68,4 +79,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv)

@@ -2,16 +2,19 @@
 """Quickstart: generate basket data, mine association rules, and run the
 same mining job on the simulated ATM-connected PC cluster.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py          (add --fast for a tiny run)
 """
+
+import sys
 
 from repro import HPAConfig, apriori, derive_rules, generate, run_hpa
 
 
-def main() -> None:
+def main(fast: bool = False) -> None:
     # 1. Synthetic basket data (IBM Quest generator, VLDB'94 parameters:
     #    average transaction size 10, average pattern size 4, 2000 txns).
-    db = generate("T10.I4.D2K", n_items=300, seed=7)
+    workload, n_items = ("T5.I2.D300", 80) if fast else ("T10.I4.D2K", 300)
+    db = generate(workload, n_items=n_items, seed=7)
     print(f"generated {len(db)} transactions over {db.n_items} items "
           f"(avg size {db.avg_txn_len:.1f}, ~{db.size_bytes() // 1024} KB)")
 
@@ -33,7 +36,8 @@ def main() -> None:
     # 4. The same mining job, parallelised with Hash-Partitioned Apriori
     #    on a simulated 4-node PC cluster — identical results, plus a
     #    virtual-time execution profile.
-    hpa = run_hpa(db, HPAConfig(minsup=0.02, n_app_nodes=4, total_lines=2048))
+    lines = 512 if fast else 2048
+    hpa = run_hpa(db, HPAConfig(minsup=0.02, n_app_nodes=4, total_lines=lines))
     assert hpa.large_itemsets == result.large_itemsets
     print(f"\nHPA on 4 simulated nodes: identical itemsets, "
           f"virtual execution time {hpa.total_time_s:.2f}s")
@@ -43,4 +47,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv)

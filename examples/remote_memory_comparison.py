@@ -2,53 +2,51 @@
 """The paper's headline experiment, end to end: mine under a memory-usage
 limit with the three swapping mechanisms and compare (Figure 4's story).
 
-A memory limit equal to ~78% of the busiest node's candidate footprint
-(the paper's "12 MB" point) forces hash lines out of memory during
+A memory limit equal to the paper's "12 MB" point (78% of the busiest
+node's candidate footprint) forces hash lines out of memory during
 pass 2.  Where they go decides everything:
 
 - local SCSI disk       -> ~13 ms per pagefault
 - remote node's memory  -> ~2.3 ms per pagefault (simple swapping)
 - remote + update ops   -> no pagefaults at all (the paper's winner)
 
-Run:  python examples/remote_memory_comparison.py
+The four configurations are the named scenarios of the runtime
+catalogue (``repro-bench --list-scenarios``); this example just sweeps
+the catalogue entries over the paper's memory-limit knob.
+
+Run:  python examples/remote_memory_comparison.py   (--fast: tiny run)
 """
 
-from repro import HPAConfig, apriori, generate, run_hpa
+import sys
+from dataclasses import replace
 
-WORKLOAD = "T10.I4.D1K"
-N_ITEMS = 250
-MINSUP = 0.01
-N_APP = 4
-N_MEM = 8
-LINES = 4096
+from repro.harness.scales import prepare_workload
+from repro.runtime import get_scenario, paper_limited, run_scenario
+
+PAPER_MB = 12.0  # the paper's tightest studied limit (Figures 3-5)
 
 
-def main() -> None:
-    db = generate(WORKLOAD, n_items=N_ITEMS, seed=42)
-    ref = apriori(db, minsup=MINSUP, max_k=2)
-    c2 = ref.passes[1].n_candidates
-    # ~78% of the busiest node's footprint = the paper's 12 MB point.
-    limit = int((c2 / N_APP) * 24 * 1.1 * 0.78)
-    print(f"{WORKLOAD}: {c2} candidate 2-itemsets; per-node limit {limit // 1024} KB\n")
+def main(fast: bool = False) -> None:
+    scale = "tiny" if fast else "small"
+    prep = prepare_workload(scale)
+    limit = prep.limit_bytes(PAPER_MB)
+    print(f"{prep.scale.workload}: {prep.n_candidates_2} candidate "
+          f"2-itemsets; per-node limit {limit // 1024} KB "
+          f"(the paper's {PAPER_MB:.0f} MB point)\n")
 
-    def run(pager: str, n_mem: int, lim):
-        cfg = HPAConfig(
-            minsup=MINSUP, n_app_nodes=N_APP, total_lines=LINES, max_k=2,
-            pager=pager, n_memory_nodes=n_mem, memory_limit_bytes=lim,
+    baseline = run_scenario(replace(get_scenario("baseline"), scale=scale))
+    print(f"{'no memory limit':24s} pass2 = "
+          f"{baseline.pass_result(2).duration_s:8.2f} s (virtual)")
+
+    for label, name in [
+        ("swap to local disk", "disk-swap"),
+        ("simple remote swapping", "remote-swap"),
+        ("remote update ops", "remote-update"),
+    ]:
+        scenario = replace(
+            paper_limited(get_scenario(name), PAPER_MB), scale=scale
         )
-        return run_hpa(db, cfg)
-
-    baseline = run("none", 0, None)
-    print(f"{'no memory limit':24s} pass2 = {baseline.pass_result(2).duration_s:8.2f} s "
-          f"(virtual)")
-
-    rows = [
-        ("swap to local disk", "disk", 0),
-        ("simple remote swapping", "remote", N_MEM),
-        ("remote update ops", "remote-update", N_MEM),
-    ]
-    for label, pager, n_mem in rows:
-        res = run(pager, n_mem, limit)
+        res = run_scenario(scenario)
         p2 = res.pass_result(2)
         assert res.large_itemsets == baseline.large_itemsets  # always exact
         extra = ""
@@ -64,4 +62,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv)

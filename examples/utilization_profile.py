@@ -8,8 +8,10 @@ to a run, then print a timeline — pagefault rate per interval, network
 throughput, and the busiest nodes' CPU utilisation — annotated with the
 phase boundaries.
 
-Run:  python examples/utilization_profile.py
+Run:  python examples/utilization_profile.py (add --fast for a tiny run)
 """
+
+import sys
 
 from repro import HPAConfig, apriori, generate
 from repro.mining.hpa import HPARun
@@ -21,16 +23,24 @@ def bar(fraction: float, width: int = 30) -> str:
     return "#" * n + "." * (width - n)
 
 
-def main() -> None:
-    db = generate("T10.I4.D1K", n_items=250, seed=42)
-    ref = apriori(db, minsup=0.01, max_k=2)
-    limit = int((ref.passes[1].n_candidates / 4) * 24 * 1.1 * 0.85)
+def main(fast: bool = False) -> None:
+    if fast:
+        workload, n_items, minsup, n_app, n_mem, lines = (
+            "T8.I3.D300", 120, 0.02, 2, 2, 512
+        )
+    else:
+        workload, n_items, minsup, n_app, n_mem, lines = (
+            "T10.I4.D1K", 250, 0.01, 4, 8, 4096
+        )
+    db = generate(workload, n_items=n_items, seed=42)
+    ref = apriori(db, minsup=minsup, max_k=2)
+    limit = int((ref.passes[1].n_candidates / n_app) * 24 * 1.1 * 0.85)
 
     run = HPARun(
         db,
         HPAConfig(
-            minsup=0.01, n_app_nodes=4, total_lines=4096, max_k=2,
-            pager="remote", n_memory_nodes=8, memory_limit_bytes=limit,
+            minsup=minsup, n_app_nodes=n_app, total_lines=lines, max_k=2,
+            pager="remote", n_memory_nodes=n_mem, memory_limit_bytes=limit,
         ),
     )
     trace = run.enable_instrumentation(sample_interval_s=0.1)
@@ -64,4 +74,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(fast="--fast" in sys.argv)

@@ -13,6 +13,10 @@ Public API tour:
   availability monitors, and the migration mechanism.
 - :mod:`repro.cluster` — the simulated ATM-connected PC cluster.
 - :mod:`repro.sim` — the discrete-event kernel underneath it all.
+- :mod:`repro.runtime` — the cluster runtime layer: declarative
+  :class:`~repro.runtime.config.RunConfig`, the
+  :func:`~repro.runtime.builder.build_runtime` composition root, and
+  named :class:`~repro.runtime.scenarios.Scenario` runs.
 - :mod:`repro.harness` — the per-table/figure experiment runners
   (also exposed as the ``repro-bench`` command).
 - :mod:`repro.obs` — the telemetry subsystem: event bus, metrics
@@ -24,6 +28,14 @@ from repro.datagen import QuestParams, TransactionDatabase, generate
 from repro.mining import AprioriResult, Rule, apriori, derive_rules
 from repro.mining.hpa import HPAConfig, HPAResult, HPARun, run_hpa
 from repro.obs import Telemetry, telemetry_session
+from repro.runtime import (
+    ClusterRuntime,
+    RunConfig,
+    RunResult,
+    Scenario,
+    build_runtime,
+    run_scenario,
+)
 
 __all__ = [
     "__version__",
@@ -38,6 +50,12 @@ __all__ = [
     "HPAResult",
     "HPARun",
     "run_hpa",
+    "RunConfig",
+    "RunResult",
+    "ClusterRuntime",
+    "build_runtime",
+    "Scenario",
+    "run_scenario",
     "Telemetry",
     "telemetry_session",
 ]

@@ -11,7 +11,7 @@ utilisation plots that companion paper shows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.errors import Interrupt

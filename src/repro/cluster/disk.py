@@ -8,7 +8,7 @@ costs disk behaviour in §5.2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
 from repro.errors import DiskError

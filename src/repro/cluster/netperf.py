@@ -9,7 +9,6 @@ calibration can be validated automatically
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.cluster import Cluster
 from repro.cluster.specs import DiskSpec, NodeSpec, PAPER_NODE

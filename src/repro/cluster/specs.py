@@ -9,7 +9,7 @@ point-to-point round-trip time, and two generations of SCSI disks
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "CpuSpec",

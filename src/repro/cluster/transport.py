@@ -10,15 +10,12 @@ sender's egress NIC serialises its transmissions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import Generator
 
 from repro.errors import NetworkError
 from repro.cluster.network import Message, Network
 from repro.sim.process import Process
 from repro.sim.store import Store
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.engine import Environment
 
 __all__ = ["Transport"]
 

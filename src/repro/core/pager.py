@@ -13,8 +13,8 @@ Three concrete pagers implement the paper's three §5 mechanisms:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Generator, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Iterator, Optional
 
 from repro.analysis.cost_model import CostModel
 from repro.core.memory_table import MemoryManagementTable
@@ -22,6 +22,7 @@ from repro.mining.hash_table import HashLine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.node import Node
+    from repro.core.placement import PlacementPolicy
     from repro.obs.events import EventBus
 
 __all__ = ["Pager", "PagerStats"]
@@ -66,6 +67,14 @@ class Pager(ABC):
         self.table = table
         self.cost = cost
         self.stats = PagerStats()
+        #: Next pager in the eviction chain (remote pagers set this to a
+        #: :class:`~repro.core.disk_pager.DiskPager` when the
+        #: ``disk_fallback`` extension is on); ``None`` terminates the
+        #: chain.  Part of the typed interface — consumers walk
+        #: :meth:`chain` instead of ``getattr(pager, "fallback", ...)``.
+        self.fallback: Optional["Pager"] = None
+        #: Destination placement policy (remote pagers only).
+        self.placement: Optional["PlacementPolicy"] = None
         #: Legacy single-consumer instrumentation hook: called as
         #: ``on_event(kind, node_id, detail)`` for faults, evictions, and
         #: migrations (see :class:`repro.analysis.trace.TraceCollector`).
@@ -122,6 +131,13 @@ class Pager(ABC):
         (no-op for pagers that do not place data remotely)."""
         return
         yield  # pragma: no cover - makes this a generator function
+
+    def chain(self) -> Iterator["Pager"]:
+        """This pager followed by its fallback chain, in eviction order."""
+        pager: Optional[Pager] = self
+        while pager is not None:
+            yield pager
+            pager = pager.fallback
 
     def reset_pass(self) -> None:
         """Clear per-pass state (swapped contents); stats are cumulative."""

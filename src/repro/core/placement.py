@@ -9,7 +9,7 @@ round-robin for comparison.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.core.monitor import MonitorClient
 from repro.errors import NoMemoryAvailable

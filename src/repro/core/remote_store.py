@@ -10,7 +10,7 @@ memory pressure genuinely shrinks what guests may store.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import NoMemoryAvailable, SwapError
 from repro.mining.hash_table import HashLine

@@ -9,7 +9,6 @@ nodes' local disks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 

@@ -67,6 +67,17 @@ class MiningError(ReproError):
     """Base class for errors in the association-rule mining substrate."""
 
 
+class ConfigError(MiningError):
+    """Raised for contradictory or out-of-range run configurations.
+
+    Every rejection happens at :class:`~repro.runtime.config.RunConfig`
+    construction time — before any cluster is built — so a bad
+    combination (e.g. a remote pager with zero memory-available nodes)
+    can never fail mid-simulation.  Subclasses :class:`MiningError` so
+    callers that predate the runtime layer keep working.
+    """
+
+
 class DataGenError(ReproError):
     """Raised for invalid synthetic-data-generator parameters."""
 

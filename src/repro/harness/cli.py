@@ -45,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list available experiments"
     )
     parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the named run scenarios in the runtime catalogue",
+    )
+    parser.add_argument(
         "--json",
         metavar="DIR",
         default=None,
@@ -71,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.list_scenarios:
+        from repro.runtime import list_scenarios
+
+        print("named scenarios:")
+        for s in list_scenarios():
+            print(f"  {s.name:20s} [{s.driver}] {s.description}")
+        return 0
     if args.hotpath_json is not None:
         from repro.harness.hotpath import (
             render_hotpath,
@@ -106,11 +118,11 @@ def main(argv: "list[str] | None" = None) -> int:
 
     telemetry = None
     if args.trace is not None:
-        from repro.harness.experiments import _run_cached
         from repro.obs import Telemetry, telemetry_session
+        from repro.runtime import clear_cache
 
         # Cached runs would leave the trace empty; force real executions.
-        _run_cached.cache_clear()
+        clear_cache()
         telemetry = Telemetry()
         session = telemetry_session(telemetry)
     else:

@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Mapping, Optional
+from typing import Optional
 
 from repro.analysis import (
     disk_comparison,
@@ -20,13 +19,13 @@ from repro.analysis import (
     render_series,
     render_table,
 )
-from repro.analysis.cost_model import PAPER_COSTS, CostModel
+from repro.analysis.cost_model import PAPER_COSTS
 from repro.cluster.specs import ATM_155
 from repro.datagen import generate
-from repro.errors import HarnessError
 from repro.mining import apriori, skew_statistics
-from repro.mining.hpa import HPAConfig, HPAResult, HPARun
-from repro.harness.scales import SCALES, PreparedWorkload, prepare_workload
+from repro.mining.hpa import HPAResult
+from repro.harness.scales import SCALES, prepare_workload
+from repro.runtime.scenarios import Scenario, run_scenario
 
 __all__ = [
     "ExperimentReport",
@@ -87,20 +86,6 @@ class ExperimentReport:
         )
 
 
-def _base_config(prep: PreparedWorkload, **overrides) -> HPAConfig:
-    scale = prep.scale
-    kwargs = dict(
-        minsup=scale.minsup,
-        n_app_nodes=scale.n_app_nodes,
-        total_lines=scale.total_lines,
-        max_k=2,  # the paper's §5 experiments measure pass 2
-        seed=scale.seed,
-    )
-    kwargs.update(overrides)
-    return HPAConfig(**kwargs)
-
-
-@lru_cache(maxsize=256)
 def _run_cached(
     scale_name: str,
     pager: str,
@@ -112,28 +97,29 @@ def _run_cached(
     shortages: tuple = (),
     eld_fraction: float = 0.0,
     loss_probability: float = 0.0,
+    driver: str = "hpa",
 ) -> HPAResult:
-    """Execute one HPA configuration (memoised across experiments)."""
-    prep = prepare_workload(scale_name)
-    cost: CostModel = PAPER_COSTS
-    if message_block_bytes is not None:
-        cost = cost.with_overrides(message_block_bytes=message_block_bytes)
-    limit = None if paper_mb is None else prep.limit_bytes(paper_mb)
-    cfg = _base_config(
-        prep,
-        pager=pager,
-        n_memory_nodes=n_mem,
-        memory_limit_bytes=limit,
-        replacement=replacement,
-        monitor_interval_s=monitor_interval_s,
-        cost=cost,
-        eld_fraction=eld_fraction,
-        loss_probability=loss_probability,
+    """Execute one driver configuration through the scenario layer.
+
+    Results are shared across experiments by the runtime's explicit
+    scenario cache (``repro.runtime.clear_cache`` empties it;
+    ``repro.runtime.cache_stats`` reports hits/misses).
+    """
+    return run_scenario(
+        Scenario(
+            driver=driver,
+            scale=scale_name,
+            pager=pager,
+            n_memory_nodes=n_mem,
+            paper_mb=paper_mb,
+            replacement=replacement,
+            monitor_interval_s=monitor_interval_s,
+            message_block_bytes=message_block_bytes,
+            shortages=shortages,
+            eld_fraction=eld_fraction,
+            loss_probability=loss_probability,
+        )
     )
-    run = HPARun(prep.db, cfg)
-    for t, idx in shortages:
-        run.shortage_schedule.append((t, run.mem_ids[idx]))
-    return run.run()
 
 
 def _pass2_time(res: HPAResult) -> float:
@@ -613,33 +599,20 @@ def exp_npa_comparison(scale: str = "small") -> ExperimentReport:
     """Quantify §2.2's claim that HPA "effectively utilizes the whole
     memory space of all the processors": NPA duplicates the candidate set
     on every node and collapses first as the per-node limit shrinks."""
-    from repro.mining.npa import NPAConfig, NPARun
-
     prep = prepare_workload(scale)
     s = prep.scale
     n_mem = s.max_memory_nodes
     series: dict[str, dict[str, float]] = {"HPA": {}, "NPA": {}}
     data: dict = {}
 
-    def npa_run(paper_mb):
-        limit = None if paper_mb is None else prep.limit_bytes(paper_mb)
-        cfg = NPAConfig(
-            minsup=s.minsup, n_app_nodes=s.n_app_nodes,
-            total_lines=s.total_lines, max_k=2, seed=s.seed,
-            pager="remote-update" if paper_mb is not None else "none",
-            n_memory_nodes=n_mem if paper_mb is not None else 0,
-            memory_limit_bytes=limit,
-        )
-        return NPARun(prep.db, cfg).run()
-
     labels = ["no limit"] + [f"{mb:g}MB" for mb in s.limits_mb]
     for label, mb in zip(labels, [None, *s.limits_mb]):
-        hpa = (
-            _run_cached(scale, "remote-update", n_mem, mb)
-            if mb is not None
-            else _run_cached(scale, "none", 0, None)
-        )
-        npa = npa_run(mb)
+        if mb is not None:
+            hpa = _run_cached(scale, "remote-update", n_mem, mb)
+            npa = _run_cached(scale, "remote-update", n_mem, mb, driver="npa")
+        else:
+            hpa = _run_cached(scale, "none", 0, None)
+            npa = _run_cached(scale, "none", 0, None, driver="npa")
         series["HPA"][label] = hpa.pass_result(2).duration_s
         series["NPA"][label] = npa.pass_result(2).duration_s
         data[label] = {
@@ -706,14 +679,13 @@ def exp_scaling(scale: str = "small") -> ExperimentReport:
     counts = [n for n in (1, 2, 4, 8) if n <= max(8, s.n_app_nodes)]
     times = {}
     for n in counts:
-        cfg = HPAConfig(
-            minsup=s.minsup,
-            n_app_nodes=n,
-            total_lines=(s.total_lines // n) * n or n,
-            max_k=2,
-            seed=s.seed,
+        res = run_scenario(
+            Scenario(
+                scale=scale,
+                n_app_nodes=n,
+                total_lines=(s.total_lines // n) * n or n,
+            )
         )
-        res = HPARun(prep.db, cfg).run()
         times[n] = res.pass_result(2).duration_s
     base = times[counts[0]]
     rows = [

@@ -13,7 +13,7 @@ job; this table is the passive storage it manages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterator, Optional
 
 from repro.errors import MiningError
 from repro.mining.itemsets import ITEMSET_BYTES, Itemset

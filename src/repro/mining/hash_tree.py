@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-import numpy as np
 
 from repro.datagen.corpus import TransactionDatabase
 from repro.errors import MiningError

@@ -1,7 +1,8 @@
 """Hash-Partitioned Apriori (HPA) on the simulated cluster.
 
 This is the paper's §2.2/§3.3 parallel miner, run as discrete-event
-processes.  Each pass:
+processes on a :class:`~repro.runtime.builder.ClusterRuntime`.  Each
+pass:
 
 1. **Candidate generation** — every node generates all candidate
    k-itemsets from the (globally known) large (k-1)-itemsets, keeps
@@ -22,34 +23,23 @@ The result — large itemsets with exact support counts — is invariant
 under every pager/limit configuration; only the virtual clock differs.
 That property is what the integration tests pin against sequential
 Apriori.
+
+Cluster bring-up, the pass loop, pass 1, and the telemetry surface live
+in :class:`~repro.runtime.driver.MiningDriver`; this module contains
+only what is HPA-specific: hash-partitioned candidate placement, the
+sender/receiver counting phase, and the determination broadcast.
 """
 
 from __future__ import annotations
 
-import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 from typing import Generator, Optional
 
 import numpy as np
 
-from repro.analysis.cost_model import CostModel, PAPER_COSTS
-from repro.cluster import Cluster
-from repro.core import (
-    DiskPager,
-    MemoryManagementTable,
-    MemoryMonitor,
-    MonitorClient,
-    RemoteMemoryPager,
-    RemoteStore,
-    RemoteUpdatePager,
-    SwapManager,
-)
-from repro.core.placement import make_placement
-from repro.core.policies import make_policy
 from repro.datagen.corpus import TransactionDatabase
-from repro.errors import MiningError
 from repro.mining.candidates import generate_candidates
 from repro.mining.itemsets import ITEMSET_BYTES, Itemset
 from repro.mining.kernels import (
@@ -59,437 +49,42 @@ from repro.mining.kernels import (
     eld_scores,
 )
 from repro.mining.partition import HashPartitioner
-from repro.analysis.trace import TraceCollector, UtilizationSampler
-from repro.obs import Telemetry, current_telemetry
-from repro.obs.telemetry import run_meta
-from repro.sim import Environment
+from repro.runtime.config import RunConfig
+from repro.runtime.driver import MiningDriver, SendWindow
+from repro.runtime.results import PassResult, RunResult
 
 __all__ = ["HPAConfig", "HPAResult", "HPAPassResult", "HPARun", "run_hpa"]
 
 #: Sentinel payload closing one sender->receiver stream.
 _EOF = "__eof__"
 
-#: Number of itemsets whose CPU cost is charged per compute call in the
-#: hot loops (keeps simulator event counts low without distorting totals).
-_CPU_CHUNK = 512
+#: Historical aliases — the result types are driver-independent now.
+HPAPassResult = PassResult
+HPAResult = RunResult
+_SendWindow = SendWindow
 
 
 @dataclass(frozen=True)
-class HPAConfig:
-    """Configuration of one HPA run (paper §5.1 parameters)."""
+class HPAConfig(RunConfig):
+    """Configuration of one HPA run (paper §5.1 parameters).
 
-    minsup: float = 0.01
-    n_app_nodes: int = 8
-    n_memory_nodes: int = 0
-    total_lines: int = 4096
-    memory_limit_bytes: Optional[int] = None
-    pager: str = "none"  # none | disk | remote | remote-update
-    replacement: str = "lru"
-    placement: str = "most-available"
-    monitor_interval_s: Optional[float] = None
-    send_window: int = 4
-    max_k: int = 0  # 0 = run to termination
-    cost: CostModel = PAPER_COSTS
-    seed: int = 0
-    #: HPA-ELD skew handling (the method the paper cites for treating
-    #: partitioning skew): this fraction of candidates with the highest
-    #: estimated frequency is *duplicated* on every node and counted
-    #: locally, removing their (dominant) share of the itemset traffic.
-    #: 0 disables the variant (plain HPA, the paper's configuration).
-    eld_fraction: float = 0.0
-    #: Extension beyond the paper: when no memory-available node can
-    #: accept an eviction, spill to the local swap disk instead of
-    #: failing (the paper assumes lenders always have room).
-    disk_fallback: bool = False
-    #: UBR cell-loss probability per message attempt (companion-study
-    #: extension); lost segments are retransmitted after TCP's RTO.
-    loss_probability: float = 0.0
-    #: Counting-kernel selection: ``"vector"`` runs the hot path through
-    #: :mod:`repro.mining.kernels` (vectorized pair generation, candidate
-    #: prefix index, precomputed routing); ``"naive"`` keeps the
-    #: per-occurrence ``combinations`` loop.  Results, simulated times,
-    #: and message counts are bit-identical — only host wall-clock
-    #: differs (pinned by the kernel-equivalence tests).
-    kernel: str = "vector"
-
-    def __post_init__(self) -> None:
-        if not 0.0 < self.minsup <= 1.0:
-            raise MiningError(f"minsup must be in (0, 1], got {self.minsup}")
-        if not 0.0 <= self.eld_fraction <= 1.0:
-            raise MiningError(
-                f"eld_fraction must be in [0, 1], got {self.eld_fraction}"
-            )
-        if self.n_app_nodes <= 0:
-            raise MiningError("need at least one application node")
-        if self.pager not in ("none", "disk", "remote", "remote-update"):
-            raise MiningError(f"unknown pager {self.pager!r}")
-        if self.pager in ("remote", "remote-update") and self.n_memory_nodes <= 0:
-            raise MiningError(f"pager {self.pager!r} needs memory-available nodes")
-        if self.memory_limit_bytes is not None and self.pager == "none":
-            raise MiningError("a memory limit requires a pager")
-        if self.send_window <= 0:
-            raise MiningError("send window must be positive")
-        if self.disk_fallback and self.pager not in ("remote", "remote-update"):
-            raise MiningError("disk_fallback applies only to remote pagers")
-        if not 0.0 <= self.loss_probability < 1.0:
-            raise MiningError(
-                f"loss_probability must be in [0, 1), got {self.loss_probability}"
-            )
-        if self.kernel not in ("vector", "naive"):
-            raise MiningError(f"unknown kernel {self.kernel!r}")
+    A thin subclass of :class:`~repro.runtime.config.RunConfig` kept for
+    its import path; all fields and validation live in the base.
+    """
 
 
-@dataclass
-class HPAPassResult:
-    """Per-pass outcome and timing (one row of Table 2 plus phase times)."""
-
-    k: int
-    n_candidates: int
-    per_node_candidates: list[int]
-    n_large: int
-    start_time: float
-    end_time: float
-    candgen_time_s: float = 0.0
-    counting_time_s: float = 0.0
-    determine_time_s: float = 0.0
-    faults_per_node: list[int] = field(default_factory=list)
-    swap_outs_per_node: list[int] = field(default_factory=list)
-    update_msgs_per_node: list[int] = field(default_factory=list)
-    fault_time_per_node: list[float] = field(default_factory=list)
-    n_duplicated: int = 0
-    count_messages: int = 0
-    #: Host wall-clock spent executing each phase (real seconds, NOT
-    #: simulated time) — the quantity the counting kernels improve.
-    #: Excluded from every equivalence comparison.
-    candgen_wall_s: float = 0.0
-    counting_wall_s: float = 0.0
-    determine_wall_s: float = 0.0
-
-    @property
-    def duration_s(self) -> float:
-        """Total virtual time of this pass."""
-        return self.end_time - self.start_time
-
-    @property
-    def max_faults(self) -> int:
-        """Pagefaults at the busiest node (Table 4's ``Max`` column)."""
-        return max(self.faults_per_node, default=0)
-
-
-@dataclass
-class HPAResult:
-    """Outcome of a full HPA run."""
-
-    config: HPAConfig
-    large_itemsets: dict[Itemset, int]
-    passes: list[HPAPassResult]
-    total_time_s: float
-
-    def pass_result(self, k: int) -> HPAPassResult:
-        """The result row for pass ``k``."""
-        for p in self.passes:
-            if p.k == k:
-                return p
-        raise KeyError(f"no pass {k} in this run")
-
-    def table2_rows(self) -> list[tuple[int, Optional[int], int]]:
-        """(pass, C_k, L_k) rows in the paper's Table 2 format."""
-        return [
-            (p.k, None if p.k == 1 else p.n_candidates, p.n_large)
-            for p in self.passes
-        ]
-
-    def summary(self) -> str:
-        """Multi-line human-readable run summary."""
-        cfg = self.config
-        lines = [
-            f"HPA run: {cfg.n_app_nodes} app nodes, "
-            f"{cfg.n_memory_nodes} memory nodes, pager={cfg.pager}, "
-            f"limit={cfg.memory_limit_bytes or 'none'}",
-            f"large itemsets: {len(self.large_itemsets)}; "
-            f"total virtual time: {self.total_time_s:.3f}s",
-        ]
-        for p in self.passes:
-            extra = ""
-            if p.k >= 2:
-                extra = (
-                    f"  [{p.duration_s:.3f}s"
-                    f", faults<=n:{p.max_faults}"
-                    f", swaps<=n:{max(p.swap_outs_per_node, default=0)}"
-                    f", msgs:{p.count_messages}]"
-                )
-            cand = "-" if p.k == 1 else str(p.n_candidates)
-            lines.append(f"  pass {p.k}: C={cand} L={p.n_large}{extra}")
-        return "\n".join(lines)
-
-
-class _SendWindow:
-    """Bounded number of in-flight asynchronous sends per process."""
-
-    def __init__(self, env: Environment, limit: int) -> None:
-        self.env = env
-        self.limit = limit
-        self._inflight: list = []
-
-    def post(self, gen: Generator) -> Generator:
-        """Launch ``gen`` as a process once a window slot frees up."""
-        self._inflight = [p for p in self._inflight if p.is_alive]
-        while len(self._inflight) >= self.limit:
-            yield self.env.any_of(self._inflight)
-            self._inflight = [p for p in self._inflight if p.is_alive]
-        self._inflight.append(self.env.process(gen))
-
-    def drain(self) -> Generator:
-        """Wait for every posted send to finish."""
-        alive = [p for p in self._inflight if p.is_alive]
-        if alive:
-            yield self.env.all_of(alive)
-        self._inflight.clear()
-
-
-class HPARun:
+class HPARun(MiningDriver):
     """One fully-wired HPA execution over a simulated cluster."""
 
     #: Manifest tag for telemetry run entries.
     driver_name = "hpa"
+    pass1_channel = "pass1"
 
     def __init__(self, db: TransactionDatabase, config: HPAConfig) -> None:
-        if len(db) < config.n_app_nodes:
-            raise MiningError("fewer transactions than application nodes")
-        self.db = db
-        self.config = config
-        self.env = Environment()
-        n_total = config.n_app_nodes + config.n_memory_nodes
-        self.cluster = Cluster(self.env, n_total)
-        if config.loss_probability > 0.0:
-            self.cluster.network.loss_probability = config.loss_probability
-        self.app_ids = list(range(config.n_app_nodes))
-        self.mem_ids = list(range(config.n_app_nodes, n_total))
+        super().__init__(db, config)
         self.partitioner = HashPartitioner(config.total_lines, config.n_app_nodes)
-        self.partitions = db.partition(config.n_app_nodes)
-        self.minsup_count = max(1, int(math.ceil(config.minsup * len(db))))
-
-        cost = config.cost
-        self.stores: dict[int, RemoteStore] = {}
-        self.monitors: dict[int, MemoryMonitor] = {}
-        self.clients: dict[int, MonitorClient] = {}
-        if config.n_memory_nodes > 0:
-            for m in self.mem_ids:
-                self.stores[m] = RemoteStore(self.cluster[m])
-                self.monitors[m] = MemoryMonitor(
-                    self.cluster[m], self.cluster.transport, self.app_ids, cost,
-                    interval_s=config.monitor_interval_s,
-                )
-            for a in self.app_ids:
-                self.clients[a] = MonitorClient(self.cluster[a], self.cluster.transport)
-
-        self.managers: dict[int, SwapManager] = {}
-        self.pagers: dict[int, object] = {}
-        memory_nodes = {m: self.cluster[m] for m in self.mem_ids}
-        for a in self.app_ids:
-            table = MemoryManagementTable()
-            pager = None
-            if config.pager == "disk":
-                pager = DiskPager(self.cluster[a], table, cost)
-            elif config.pager in ("remote", "remote-update"):
-                cls = RemoteMemoryPager if config.pager == "remote" else RemoteUpdatePager
-                fallback = (
-                    DiskPager(self.cluster[a], table, cost)
-                    if config.disk_fallback
-                    else None
-                )
-                pager = cls(
-                    self.cluster[a], table, cost, self.cluster.network,
-                    self.clients[a], make_placement(config.placement),
-                    self.stores, memory_nodes, fallback=fallback,
-                )
-            self.pagers[a] = pager
-            self.managers[a] = SwapManager(
-                self.cluster[a],
-                limit_bytes=config.memory_limit_bytes,
-                pager=pager,
-                policy=make_policy(config.replacement, seed=config.seed),
-                cost=cost,
-            )
-            # Shortage broadcasts trigger the migration mechanism.
-            if pager is not None and a in self.clients:
-                self.clients[a].shortage_handlers.append(pager.migrate_from)
-
-        self.result: Optional[HPAResult] = None
-        #: Optional list of (virtual_time, mem_node_id) shortage signals
-        #: injected during the run (Figure 5's experiment).
-        self.shortage_schedule: list[tuple[float, int]] = []
-        #: Instrumentation (populated by :meth:`enable_telemetry` /
-        #: :meth:`enable_instrumentation`).
-        self.telemetry: Optional[Telemetry] = None
-        self.trace: Optional[TraceCollector] = None
-        self.sampler: Optional[UtilizationSampler] = None
-
-    def enable_telemetry(
-        self,
-        telemetry: Optional[Telemetry] = None,
-        sample_interval_s: Optional[float] = None,
-    ) -> Telemetry:
-        """Wire this run into a telemetry session (event bus + metrics).
-
-        With no argument a fresh private :class:`Telemetry` is created;
-        passing an existing one lets several consecutive runs share one
-        trace (how ``repro-bench --trace`` collects a whole sweep).
-        Hooks every event source, including disk-fallback pagers chained
-        behind remote ones.  Call before :meth:`run`.
-        """
-        if telemetry is None:
-            telemetry = Telemetry()
-        self.telemetry = telemetry
-        telemetry.attach(self, run_meta(self.driver_name, self.config))
-        if sample_interval_s is not None:
-            self.sampler = UtilizationSampler(self.cluster, sample_interval_s)
-        return telemetry
-
-    def enable_instrumentation(
-        self, sample_interval_s: Optional[float] = None
-    ) -> TraceCollector:
-        """Attach a :class:`TraceCollector` (and optionally a periodic
-        :class:`UtilizationSampler`) to this run.
-
-        The collector is now one subscriber on the telemetry event bus —
-        pager events (faults, swap-outs, migrations), phase boundaries,
-        and everything else the bus carries are recorded; call before
-        :meth:`run`.
-        """
-        if self.telemetry is None:
-            self.enable_telemetry(sample_interval_s=sample_interval_s)
-        elif sample_interval_s is not None and self.sampler is None:
-            self.sampler = UtilizationSampler(self.cluster, sample_interval_s)
-        self.trace = TraceCollector(self.env)
-        self.telemetry.bus.subscribe(self.trace.subscriber())
-        return self.trace
-
-    def _trace_phase(self, name: str) -> None:
-        if self.telemetry is not None:
-            self.telemetry.phase_mark(name)
-        elif self.trace is not None:
-            self.trace.record(-1, "phase", name)
-
-    def _span(self, name: str, start: float, end: float) -> None:
-        if self.telemetry is not None:
-            self.telemetry.span(name, start, end)
-
-    # -- public API --------------------------------------------------------
-
-    def run(self) -> HPAResult:
-        """Execute to completion and return the mining result.
-
-        A run object is single-use: the simulated cluster's state is
-        consumed by the execution.
-        """
-        if self.result is not None:
-            raise MiningError("this run has already executed; build a new one")
-        if self.telemetry is None:
-            ambient = current_telemetry()
-            if ambient is not None:
-                self.enable_telemetry(ambient)
-        for c in self.clients.values():
-            c.start()
-        for m in self.monitors.values():
-            m.start()
-        if self.sampler is not None:
-            self.sampler.start()
-        for t, node_id in self.shortage_schedule:
-            self.env.process(self._shortage_injector(t, node_id))
-        main = self.env.process(self._main())
-        self.env.run(until=main)
-        for m in self.monitors.values():
-            m.stop()
-        for c in self.clients.values():
-            c.stop()
-        if self.sampler is not None:
-            # stop() takes the closing snapshot itself.
-            self.sampler.stop()
-        assert self.result is not None
-        if self.telemetry is not None:
-            faults = 0
-            fault_time = 0.0
-            for pager in self.pagers.values():
-                while pager is not None:
-                    faults += pager.stats.faults
-                    fault_time += pager.stats.fault_time_s
-                    pager = getattr(pager, "fallback", None)
-            self.telemetry.end_run(
-                total_time_s=self.result.total_time_s,
-                passes=len(self.result.passes),
-                n_large=len(self.result.large_itemsets),
-                faults=faults,
-                fault_time_s=fault_time,
-            )
-        return self.result
 
     # -- orchestration ---------------------------------------------------------
-
-    def _shortage_injector(self, at: float, node_id: int) -> Generator:
-        yield self.env.timeout(at)
-        if node_id not in self.monitors:
-            raise MiningError(f"node {node_id} is not a memory-available node")
-        self.monitors[node_id].signal_shortage()
-
-    def _barrier(self, generators: list[Generator]) -> Generator:
-        procs = [self.env.process(g) for g in generators]
-        yield self.env.all_of(procs)
-        return [p.value for p in procs]
-
-    def _main(self) -> Generator:
-        cfg = self.config
-        start = self.env.now
-        passes: list[HPAPassResult] = []
-        all_large: dict[Itemset, int] = {}
-
-        # If monitors exist, give the first availability broadcast time to
-        # land before any swapping can be needed (the paper's monitors run
-        # from machine boot; ours start with the run).
-        if self.monitors:
-            yield self.env.timeout(2 * cfg.cost.monitor_cpu_per_message_s * len(self.app_ids) + 2e-3)
-
-        # ---- pass 1 ----
-        t0 = self.env.now
-        local_counts = yield from self._barrier(
-            [self._pass1_node(a) for a in self.app_ids]
-        )
-        global_counts = np.sum(local_counts, axis=0)
-        large_items = np.nonzero(global_counts >= self.minsup_count)[0]
-        l_prev: dict[Itemset, int] = {
-            (int(i),): int(global_counts[i]) for i in large_items
-        }
-        all_large.update(l_prev)
-        self._span("pass1", t0, self.env.now)
-        passes.append(
-            HPAPassResult(
-                k=1,
-                n_candidates=self.db.n_items,
-                per_node_candidates=[],
-                n_large=len(l_prev),
-                start_time=t0,
-                end_time=self.env.now,
-            )
-        )
-
-        # ---- passes k >= 2 ----
-        k = 2
-        while l_prev and (cfg.max_k <= 0 or k <= cfg.max_k):
-            pass_result, l_now = yield from self._run_pass(k, l_prev)
-            passes.append(pass_result)
-            all_large.update(l_now)
-            if pass_result.n_candidates == 0:
-                break
-            l_prev = l_now
-            k += 1
-
-        self.result = HPAResult(
-            config=cfg,
-            large_itemsets=all_large,
-            passes=passes,
-            total_time_s=self.env.now - start,
-        )
-        return None
 
     def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
         cfg = self.config
@@ -561,7 +156,7 @@ class HPARun:
         if not candidates:
             self._span(f"pass{k}", t0, self.env.now)
             return (
-                HPAPassResult(
+                PassResult(
                     k=k,
                     n_candidates=0,
                     per_node_candidates=per_node_cands,
@@ -617,13 +212,10 @@ class HPARun:
         }
 
         # Per-pass cleanup: hash tables, guest stores.
-        for a in self.app_ids:
-            self.managers[a].reset_pass()
-        for store in self.stores.values():
-            store.clear()
+        self.runtime.reset_pass()
 
         return (
-            HPAPassResult(
+            PassResult(
                 k=k,
                 n_candidates=len(candidates),
                 per_node_candidates=per_node_cands,
@@ -662,7 +254,7 @@ class HPARun:
             yield from self.cluster[0].compute(
                 cost.cpu_count_per_itemset_s * n_dup * len(self.app_ids)
             )
-            window = _SendWindow(self.env, self.config.send_window)
+            window = SendWindow(self.env, self.config.send_window)
             for b in self.app_ids[1:]:
                 yield from window.post(
                     self.cluster.transport.send(0, b, "eldlarge", None, vec_bytes)
@@ -683,66 +275,7 @@ class HPARun:
                 merged[itemset] = merged.get(itemset, 0) + c
         return merged
 
-    def _pager_snapshot(self, a: int) -> tuple:
-        pager = self.pagers[a]
-        if pager is None:
-            return (0, 0, 0, 0.0)
-        s = pager.stats
-        return (s.faults, s.swap_outs, s.update_messages, s.fault_time_s)
-
-    def _l1_mask(self, l_prev: dict[Itemset, int]) -> np.ndarray:
-        mask = np.zeros(self.db.n_items, dtype=bool)
-        for itemset in l_prev:
-            mask[itemset[0]] = True
-        return mask
-
     # -- per-node phase processes ----------------------------------------------
-
-    def _scan_blocks(self, a: int) -> Generator:
-        """Sequential disk scan of the local partition, yielding per-block
-        transaction index ranges."""
-        part = self.partitions[a]
-        node = self.cluster[a]
-        cost = self.config.cost
-        block_bytes = cost.disk_io_block_bytes
-        n = len(part)
-        if n == 0:
-            return []
-        avg_txn_bytes = max(1.0, part.size_bytes() / n)
-        txns_per_block = max(1, int(block_bytes / avg_txn_bytes))
-        ranges = []
-        i = 0
-        while i < n:
-            j = min(n, i + txns_per_block)
-            yield from node.data_disk.read(block_bytes, sequential=True)
-            ranges.append((i, j))
-            i = j
-        return ranges
-
-    def _pass1_node(self, a: int) -> Generator:
-        """Scan the partition, count items, exchange count vectors."""
-        part = self.partitions[a]
-        node = self.cluster[a]
-        cost = self.config.cost
-        # Disk scan + per-item CPU.
-        blocks = yield from self._scan_blocks(a)
-        yield from node.compute(cost.cpu_count_per_itemset_s * part.total_items)
-        counts = part.item_counts()
-        # Exchange: send the count vector to every other application node.
-        window = _SendWindow(self.env, self.config.send_window)
-        vec_bytes = 4 * self.db.n_items
-        for b in self.app_ids:
-            if b == a:
-                continue
-            yield from window.post(
-                self.cluster.transport.send(a, b, "pass1", None, vec_bytes)
-            )
-        yield from window.drain()
-        # Receive the other nodes' vectors (timing only; the orchestrator
-        # sums the real vectors).
-        for _ in range(len(self.app_ids) - 1):
-            yield self.cluster.transport.recv(a, "pass1")
-        return counts
 
     def _candgen_node(
         self, a: int, n_total_candidates: int, owned, n_duplicated: int = 0
@@ -760,20 +293,7 @@ class HPARun:
             yield from node.compute(
                 cost.cpu_candgen_per_candidate_s * n_total_candidates
             )
-        inserted = 0
-        for itemset, line in owned:
-            op = mgr.insert_candidate(itemset, line)
-            if op is not None:
-                yield from op
-            inserted += 1
-            if inserted % _CPU_CHUNK == 0:
-                yield from node.compute(
-                    cost.cpu_count_per_itemset_s * _CPU_CHUNK
-                )
-        if inserted % _CPU_CHUNK:
-            yield from node.compute(
-                cost.cpu_count_per_itemset_s * (inserted % _CPU_CHUNK)
-            )
+        yield from self._insert_candidates(a, owned)
 
     def _sender_node(
         self, a: int, k: int, l_prev_keys: set, l1_mask, dup_counts=None,
@@ -821,7 +341,7 @@ class HPARun:
         node = self.cluster[a]
         mgr = self.managers[a]
         cost = self.config.cost
-        window = _SendWindow(self.env, self.config.send_window)
+        window = SendWindow(self.env, self.config.send_window)
         items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
         buffers: dict[int, list] = {b: [] for b in self.app_ids if b != a}
 
@@ -911,7 +431,7 @@ class HPARun:
         node = self.cluster[a]
         mgr = self.managers[a]
         cost = self.config.cost
-        window = _SendWindow(self.env, self.config.send_window)
+        window = SendWindow(self.env, self.config.send_window)
         items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
         dests = [b for b in self.app_ids if b != a]
         streams = OwnerStreams(dests, items_per_msg)
@@ -985,7 +505,7 @@ class HPARun:
         node = self.cluster[a]
         mgr = self.managers[a]
         cost = self.config.cost
-        window = _SendWindow(self.env, self.config.send_window)
+        window = SendWindow(self.env, self.config.send_window)
         items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
         buffers: dict[int, list] = {b: [] for b in self.app_ids if b != a}
         offsets = part.offsets
@@ -1058,7 +578,7 @@ class HPARun:
         node = self.cluster[a]
         mgr = self.managers[a]
         cost = self.config.cost
-        window = _SendWindow(self.env, self.config.send_window)
+        window = SendWindow(self.env, self.config.send_window)
         items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
         buffers: dict[int, list] = {b: [] for b in self.app_ids if b != a}
 
@@ -1183,7 +703,7 @@ class HPARun:
         if n_scanned:
             yield from node.compute(cost.cpu_determine_per_itemset_s * n_scanned)
         # Broadcast local large itemsets to the other application nodes.
-        window = _SendWindow(self.env, self.config.send_window)
+        window = SendWindow(self.env, self.config.send_window)
         payload_bytes = max(16, ITEMSET_BYTES * len(local_large))
         for b in self.app_ids:
             if b == a:

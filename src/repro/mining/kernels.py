@@ -37,7 +37,7 @@ payload contents, and send *order* are unchanged.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 

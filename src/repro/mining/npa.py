@@ -11,13 +11,14 @@ exactly the regime where the remote-memory machinery earns its keep, so
 NPA doubles as the stress baseline for the swap manager.
 
 The swap manager, pagers, monitors and migration mechanism are shared
-with HPA unchanged; NPA differs only in candidate placement (everyone
-owns every line) and in its counting/reduction phases.
+with HPA unchanged (both drivers build on
+:class:`~repro.runtime.driver.MiningDriver`); NPA differs only in
+candidate placement (everyone owns every line) and in its
+counting/reduction phases.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass
 from itertools import combinations
@@ -25,33 +26,16 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.analysis.cost_model import CostModel, PAPER_COSTS
-from repro.analysis.trace import TraceCollector, UtilizationSampler
-from repro.cluster import Cluster
-from repro.core import (
-    DiskPager,
-    MemoryManagementTable,
-    MemoryMonitor,
-    MonitorClient,
-    RemoteMemoryPager,
-    RemoteStore,
-    RemoteUpdatePager,
-    SwapManager,
-)
-from repro.core.placement import make_placement
-from repro.core.policies import make_policy
 from repro.datagen.corpus import TransactionDatabase
-from repro.errors import MiningError
+from repro.errors import ConfigError
 from repro.mining.candidates import generate_candidates
-from repro.mining.hpa import HPAConfig, HPAPassResult, HPAResult, HPARun, _SendWindow
-from repro.mining.itemsets import ITEMSET_BYTES, Itemset, itemset_hash
+from repro.mining.hpa import HPAConfig
+from repro.mining.itemsets import Itemset, itemset_hash
 from repro.mining.kernels import CountingKernel
-from repro.obs import Telemetry, current_telemetry
-from repro.sim import Environment
+from repro.runtime.driver import MiningDriver, SendWindow
+from repro.runtime.results import PassResult, RunResult
 
 __all__ = ["NPAConfig", "NPARun", "run_npa"]
-
-_CPU_CHUNK = 512
 
 
 @dataclass(frozen=True)
@@ -62,200 +46,20 @@ class NPAConfig(HPAConfig):
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.eld_fraction != 0.0:
-            raise MiningError("NPA duplicates all candidates; eld_fraction must be 0")
+            raise ConfigError("NPA duplicates all candidates; eld_fraction must be 0")
 
 
-class NPARun:
+class NPARun(MiningDriver):
     """One NPA execution over the simulated cluster."""
 
     #: Manifest tag for telemetry run entries.
     driver_name = "npa"
-
-    def __init__(self, db: TransactionDatabase, config: NPAConfig) -> None:
-        if len(db) < config.n_app_nodes:
-            raise MiningError("fewer transactions than application nodes")
-        self.db = db
-        self.config = config
-        self.env = Environment()
-        n_total = config.n_app_nodes + config.n_memory_nodes
-        self.cluster = Cluster(self.env, n_total)
-        if config.loss_probability > 0.0:
-            self.cluster.network.loss_probability = config.loss_probability
-        self.app_ids = list(range(config.n_app_nodes))
-        self.mem_ids = list(range(config.n_app_nodes, n_total))
-        self.partitions = db.partition(config.n_app_nodes)
-        self.minsup_count = max(1, int(math.ceil(config.minsup * len(db))))
-
-        cost = config.cost
-        self.stores: dict[int, RemoteStore] = {}
-        self.monitors: dict[int, MemoryMonitor] = {}
-        self.clients: dict[int, MonitorClient] = {}
-        if config.n_memory_nodes > 0:
-            for m in self.mem_ids:
-                self.stores[m] = RemoteStore(self.cluster[m])
-                self.monitors[m] = MemoryMonitor(
-                    self.cluster[m], self.cluster.transport, self.app_ids, cost,
-                    interval_s=config.monitor_interval_s,
-                )
-            for a in self.app_ids:
-                self.clients[a] = MonitorClient(self.cluster[a], self.cluster.transport)
-
-        self.managers: dict[int, SwapManager] = {}
-        self.pagers: dict[int, object] = {}
-        memory_nodes = {m: self.cluster[m] for m in self.mem_ids}
-        for a in self.app_ids:
-            table = MemoryManagementTable()
-            pager = None
-            if config.pager == "disk":
-                pager = DiskPager(self.cluster[a], table, cost)
-            elif config.pager in ("remote", "remote-update"):
-                cls = RemoteMemoryPager if config.pager == "remote" else RemoteUpdatePager
-                fallback = (
-                    DiskPager(self.cluster[a], table, cost)
-                    if config.disk_fallback
-                    else None
-                )
-                pager = cls(
-                    self.cluster[a], table, cost, self.cluster.network,
-                    self.clients[a], make_placement(config.placement),
-                    self.stores, memory_nodes, fallback=fallback,
-                )
-            self.pagers[a] = pager
-            self.managers[a] = SwapManager(
-                self.cluster[a],
-                limit_bytes=config.memory_limit_bytes,
-                pager=pager,
-                policy=make_policy(config.replacement, seed=config.seed),
-                cost=cost,
-            )
-            if pager is not None and a in self.clients:
-                self.clients[a].shortage_handlers.append(pager.migrate_from)
-
-        self.result: Optional[HPAResult] = None
-        self.shortage_schedule: list[tuple[float, int]] = []
-        #: Instrumentation — NPA shares HPA's whole telemetry surface
-        #: (bus wiring, trace collection, sampling) via the borrowed
-        #: methods below, so both drivers report through the same bus.
-        self.telemetry: Optional[Telemetry] = None
-        self.trace: Optional[TraceCollector] = None
-        self.sampler: Optional[UtilizationSampler] = None
-
-    # -- instrumentation (shared with HPA; same attribute surface) --------
-
-    enable_telemetry = HPARun.enable_telemetry
-    enable_instrumentation = HPARun.enable_instrumentation
-    _trace_phase = HPARun._trace_phase
-    _span = HPARun._span
-
-    # -- public API --------------------------------------------------------
-
-    def run(self) -> HPAResult:
-        """Execute to completion; result type is shared with HPA.
-
-        A run object is single-use: the simulated cluster's state is
-        consumed by the execution.
-        """
-        if self.result is not None:
-            raise MiningError("this run has already executed; build a new one")
-        if self.telemetry is None:
-            ambient = current_telemetry()
-            if ambient is not None:
-                self.enable_telemetry(ambient)
-        for c in self.clients.values():
-            c.start()
-        for m in self.monitors.values():
-            m.start()
-        if self.sampler is not None:
-            self.sampler.start()
-        for t, node_id in self.shortage_schedule:
-            self.env.process(self._shortage_injector(t, node_id))
-        main = self.env.process(self._main())
-        self.env.run(until=main)
-        for m in self.monitors.values():
-            m.stop()
-        for c in self.clients.values():
-            c.stop()
-        if self.sampler is not None:
-            self.sampler.stop()
-        assert self.result is not None
-        if self.telemetry is not None:
-            faults = 0
-            fault_time = 0.0
-            for pager in self.pagers.values():
-                while pager is not None:
-                    faults += pager.stats.faults
-                    fault_time += pager.stats.fault_time_s
-                    pager = getattr(pager, "fallback", None)
-            self.telemetry.end_run(
-                total_time_s=self.result.total_time_s,
-                passes=len(self.result.passes),
-                n_large=len(self.result.large_itemsets),
-                faults=faults,
-                fault_time_s=fault_time,
-            )
-        return self.result
-
-    def _shortage_injector(self, at: float, node_id: int) -> Generator:
-        yield self.env.timeout(at)
-        self.monitors[node_id].signal_shortage()
-
-    def _barrier(self, generators: list[Generator]) -> Generator:
-        procs = [self.env.process(g) for g in generators]
-        yield self.env.all_of(procs)
-        return [p.value for p in procs]
+    pass1_channel = "npa-pass1"
 
     def _line_of(self, itemset: Itemset) -> int:
         return itemset_hash(itemset) % self.config.total_lines
 
     # -- orchestration ---------------------------------------------------------
-
-    def _main(self) -> Generator:
-        cfg = self.config
-        start = self.env.now
-        passes: list[HPAPassResult] = []
-        all_large: dict[Itemset, int] = {}
-
-        if self.monitors:
-            yield self.env.timeout(
-                2 * cfg.cost.monitor_cpu_per_message_s * len(self.app_ids) + 2e-3
-            )
-
-        # Pass 1 is identical in NPA and HPA: local item counts, exchange.
-        t0 = self.env.now
-        local_counts = yield from self._barrier(
-            [self._pass1_node(a) for a in self.app_ids]
-        )
-        global_counts = np.sum(local_counts, axis=0)
-        large_items = np.nonzero(global_counts >= self.minsup_count)[0]
-        l_prev: dict[Itemset, int] = {
-            (int(i),): int(global_counts[i]) for i in large_items
-        }
-        all_large.update(l_prev)
-        self._span("pass1", t0, self.env.now)
-        passes.append(
-            HPAPassResult(
-                k=1, n_candidates=self.db.n_items, per_node_candidates=[],
-                n_large=len(l_prev), start_time=t0, end_time=self.env.now,
-            )
-        )
-
-        k = 2
-        while l_prev and (cfg.max_k <= 0 or k <= cfg.max_k):
-            pass_result, l_now = yield from self._run_pass(k, l_prev)
-            passes.append(pass_result)
-            all_large.update(l_now)
-            if pass_result.n_candidates == 0:
-                break
-            l_prev = l_now
-            k += 1
-
-        self.result = HPAResult(
-            config=cfg,
-            large_itemsets=all_large,
-            passes=passes,
-            total_time_s=self.env.now - start,
-        )
-        return None
 
     def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
         cfg = self.config
@@ -286,7 +90,7 @@ class NPARun:
         if not candidates:
             self._span(f"pass{k}", t0, self.env.now)
             return (
-                HPAPassResult(
+                PassResult(
                     k=k, n_candidates=0,
                     per_node_candidates=[0] * cfg.n_app_nodes, n_large=0,
                     start_time=t0, end_time=self.env.now,
@@ -298,11 +102,7 @@ class NPARun:
 
         # Phase 2: purely local counting.
         l_prev_keys = set(l_prev)
-        l1_mask = None
-        if k == 2:
-            l1_mask = np.zeros(self.db.n_items, dtype=bool)
-            for itemset in l_prev:
-                l1_mask[itemset[0]] = True
+        l1_mask = self._l1_mask(l_prev) if k == 2 else None
         yield from self._barrier(
             [
                 self._count_node(a, k, l_prev_keys, l1_mask, kernel)
@@ -329,13 +129,10 @@ class NPARun:
             for a in self.app_ids
         }
 
-        for a in self.app_ids:
-            self.managers[a].reset_pass()
-        for store in self.stores.values():
-            store.clear()
+        self.runtime.reset_pass()
 
         return (
-            HPAPassResult(
+            PassResult(
                 k=k,
                 n_candidates=len(candidates),
                 # NPA duplicates the full set everywhere.
@@ -359,59 +156,16 @@ class NPARun:
             l_now,
         )
 
-    def _pager_snapshot(self, a: int) -> tuple:
-        pager = self.pagers[a]
-        if pager is None:
-            return (0, 0, 0, 0.0)
-        s = pager.stats
-        return (s.faults, s.swap_outs, s.update_messages, s.fault_time_s)
-
     # -- per-node phases ----------------------------------------------------
-
-    def _pass1_node(self, a: int) -> Generator:
-        part = self.partitions[a]
-        node = self.cluster[a]
-        cost = self.config.cost
-        n = len(part)
-        if n:
-            avg = max(1.0, part.size_bytes() / n)
-            per_block = max(1, int(cost.disk_io_block_bytes / avg))
-            for _ in range(0, n, per_block):
-                yield from node.data_disk.read(cost.disk_io_block_bytes, sequential=True)
-            yield from node.compute(cost.cpu_count_per_itemset_s * part.total_items)
-        counts = part.item_counts()
-        window = _SendWindow(self.env, self.config.send_window)
-        vec_bytes = 4 * self.db.n_items
-        for b in self.app_ids:
-            if b != a:
-                yield from window.post(
-                    self.cluster.transport.send(a, b, "npa-pass1", None, vec_bytes)
-                )
-        yield from window.drain()
-        for _ in range(len(self.app_ids) - 1):
-            yield self.cluster.transport.recv(a, "npa-pass1")
-        return counts
 
     def _candgen_node(self, a: int, with_lines) -> Generator:
         node = self.cluster[a]
-        mgr = self.managers[a]
         cost = self.config.cost
         if with_lines:
             yield from node.compute(
                 cost.cpu_candgen_per_candidate_s * len(with_lines)
             )
-        inserted = 0
-        for itemset, line in with_lines:
-            op = mgr.insert_candidate(itemset, line)
-            if op is not None:
-                yield from op
-            inserted += 1
-            if inserted % _CPU_CHUNK == 0:
-                yield from node.compute(cost.cpu_count_per_itemset_s * _CPU_CHUNK)
-        if inserted % _CPU_CHUNK:
-            yield from node.compute(
-                cost.cpu_count_per_itemset_s * (inserted % _CPU_CHUNK)
-            )
+        yield from self._insert_candidates(a, with_lines)
 
     def _count_node(
         self, a: int, k: int, l_prev_keys: set, l1_mask,
@@ -503,7 +257,7 @@ class NPARun:
             yield from self.cluster[0].compute(
                 cost.cpu_count_per_itemset_s * n_candidates * len(self.app_ids)
             )
-            window = _SendWindow(self.env, self.config.send_window)
+            window = SendWindow(self.env, self.config.send_window)
             for b in self.app_ids[1:]:
                 yield from window.post(
                     self.cluster.transport.send(0, b, "npa-large", None, vec_bytes)
@@ -532,6 +286,6 @@ class NPARun:
         return merged
 
 
-def run_npa(db: TransactionDatabase, config: NPAConfig) -> HPAResult:
+def run_npa(db: TransactionDatabase, config: NPAConfig) -> RunResult:
     """Convenience wrapper: build an :class:`NPARun` and execute it."""
     return NPARun(db, config).run()

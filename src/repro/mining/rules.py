@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Iterable
 
 from repro.errors import MiningError
 from repro.mining.itemsets import Itemset

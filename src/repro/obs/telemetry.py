@@ -4,10 +4,9 @@
 :class:`~repro.obs.events.EventBus` and a
 :class:`~repro.obs.metrics.MetricsRegistry`, keeps the in-memory event
 log, derives standard metrics from the event stream, and knows how to
-wire itself into an :class:`~repro.mining.hpa.HPARun` or
-:class:`~repro.mining.npa.NPARun` (both expose the same attribute
-surface: ``env``, ``cluster``, ``pagers``, ``managers``, ``monitors``,
-``clients``).
+wire itself into any :class:`~repro.runtime.driver.MiningDriver` run
+(``env``, ``cluster``, ``pagers``, ``managers``, ``monitors``,
+``clients`` — the shared attribute surface).
 
 One telemetry object can follow several consecutive runs — each
 :meth:`attach` rebinds the bus clock to the new run's environment and
@@ -145,12 +144,12 @@ class Telemetry:
         run_id = self.begin_run(run.env, meta)
         run.cluster.network.bus = self.bus
         for pager in run.pagers.values():
-            policy = getattr(pager, "placement", None)
-            if policy is not None:
-                policy.bus = self.bus
-            while pager is not None:
-                pager.bus = self.bus
-                pager = getattr(pager, "fallback", None)
+            if pager is None:
+                continue
+            if pager.placement is not None:
+                pager.placement.bus = self.bus
+            for chained in pager.chain():
+                chained.bus = self.bus
         for manager in run.managers.values():
             manager.bus = self.bus
         for monitor in run.monitors.values():

@@ -1,0 +1,154 @@
+"""Declarative run configuration for the cluster runtime.
+
+:class:`RunConfig` is the single description of one simulated-cluster
+execution — workload-independent knobs only (node counts, pager choice,
+memory limit, policies, cost model).  Both mining drivers consume it
+(:class:`~repro.mining.hpa.HPAConfig` and
+:class:`~repro.mining.npa.NPAConfig` are thin subclasses kept for their
+import paths), and :func:`~repro.runtime.builder.build_runtime` turns it
+into a fully-wired :class:`~repro.runtime.builder.ClusterRuntime`.
+
+Every contradictory combination is rejected here, at construction time,
+with a :class:`~repro.errors.ConfigError` — never mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.cost_model import PAPER_COSTS, CostModel
+from repro.errors import ConfigError
+
+__all__ = [
+    "RunConfig",
+    "validate_config",
+    "PAGERS",
+    "REPLACEMENT_POLICIES",
+    "PLACEMENT_POLICIES",
+    "KERNELS",
+]
+
+#: Valid ``pager`` values: the paper's three §5 mechanisms plus "none".
+PAGERS = ("none", "disk", "remote", "remote-update")
+
+#: Valid ``replacement`` values (see :func:`repro.core.policies.make_policy`).
+REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+
+#: Valid ``placement`` values (see :func:`repro.core.placement.make_placement`).
+PLACEMENT_POLICIES = ("most-available", "round-robin")
+
+#: Valid ``kernel`` values (see :mod:`repro.mining.kernels`).
+KERNELS = ("vector", "naive")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Configuration of one simulated run (paper §5.1 parameters)."""
+
+    minsup: float = 0.01
+    n_app_nodes: int = 8
+    n_memory_nodes: int = 0
+    total_lines: int = 4096
+    memory_limit_bytes: Optional[int] = None
+    pager: str = "none"  # none | disk | remote | remote-update
+    replacement: str = "lru"
+    placement: str = "most-available"
+    monitor_interval_s: Optional[float] = None
+    send_window: int = 4
+    max_k: int = 0  # 0 = run to termination
+    cost: CostModel = PAPER_COSTS
+    seed: int = 0
+    #: HPA-ELD skew handling (the method the paper cites for treating
+    #: partitioning skew): this fraction of candidates with the highest
+    #: estimated frequency is *duplicated* on every node and counted
+    #: locally, removing their (dominant) share of the itemset traffic.
+    #: 0 disables the variant (plain HPA, the paper's configuration).
+    eld_fraction: float = 0.0
+    #: Extension beyond the paper: when no memory-available node can
+    #: accept an eviction, spill to the local swap disk instead of
+    #: failing (the paper assumes lenders always have room).
+    disk_fallback: bool = False
+    #: UBR cell-loss probability per message attempt (companion-study
+    #: extension); lost segments are retransmitted after TCP's RTO.
+    loss_probability: float = 0.0
+    #: Counting-kernel selection: ``"vector"`` runs the hot path through
+    #: :mod:`repro.mining.kernels` (vectorized pair generation, candidate
+    #: prefix index, precomputed routing); ``"naive"`` keeps the
+    #: per-occurrence ``combinations`` loop.  Results, simulated times,
+    #: and message counts are bit-identical — only host wall-clock
+    #: differs (pinned by the kernel-equivalence tests).
+    kernel: str = "vector"
+
+    def __post_init__(self) -> None:
+        validate_config(self)
+
+
+def validate_config(config: RunConfig) -> None:
+    """Reject out-of-range values and contradictory combinations.
+
+    Raises :class:`~repro.errors.ConfigError` (a
+    :class:`~repro.errors.MiningError` subclass) naming the offending
+    field(s).  Called by ``RunConfig.__post_init__`` so an invalid
+    configuration can never reach :func:`~repro.runtime.builder.build_runtime`.
+    """
+    if not 0.0 < config.minsup <= 1.0:
+        raise ConfigError(f"minsup must be in (0, 1], got {config.minsup}")
+    if not 0.0 <= config.eld_fraction <= 1.0:
+        raise ConfigError(
+            f"eld_fraction must be in [0, 1], got {config.eld_fraction}"
+        )
+    if config.n_app_nodes <= 0:
+        raise ConfigError("need at least one application node")
+    if config.n_memory_nodes < 0:
+        raise ConfigError(
+            f"n_memory_nodes must be >= 0, got {config.n_memory_nodes}"
+        )
+    if config.total_lines <= 0:
+        raise ConfigError(f"total_lines must be positive, got {config.total_lines}")
+    if config.max_k < 0:
+        raise ConfigError(f"max_k must be >= 0 (0 = unbounded), got {config.max_k}")
+    if config.pager not in PAGERS:
+        raise ConfigError(f"unknown pager {config.pager!r}; have {PAGERS}")
+    if config.replacement not in REPLACEMENT_POLICIES:
+        raise ConfigError(
+            f"unknown replacement policy {config.replacement!r}; "
+            f"have {REPLACEMENT_POLICIES}"
+        )
+    if config.placement not in PLACEMENT_POLICIES:
+        raise ConfigError(
+            f"unknown placement policy {config.placement!r}; "
+            f"have {PLACEMENT_POLICIES}"
+        )
+    if config.kernel not in KERNELS:
+        raise ConfigError(f"unknown kernel {config.kernel!r}; have {KERNELS}")
+    if config.pager in ("remote", "remote-update") and config.n_memory_nodes <= 0:
+        raise ConfigError(f"pager {config.pager!r} needs memory-available nodes")
+    if config.memory_limit_bytes is not None:
+        if config.pager == "none":
+            raise ConfigError("a memory limit requires a pager")
+        if config.memory_limit_bytes <= 0:
+            raise ConfigError(
+                f"memory_limit_bytes must be positive, "
+                f"got {config.memory_limit_bytes}"
+            )
+    if config.send_window <= 0:
+        raise ConfigError("send window must be positive")
+    if config.disk_fallback and config.pager not in ("remote", "remote-update"):
+        raise ConfigError("disk_fallback applies only to remote pagers")
+    if not 0.0 <= config.loss_probability < 1.0:
+        raise ConfigError(
+            f"loss_probability must be in [0, 1), got {config.loss_probability}"
+        )
+    if config.monitor_interval_s is not None:
+        if config.monitor_interval_s <= 0:
+            raise ConfigError(
+                f"monitor_interval_s must be positive, "
+                f"got {config.monitor_interval_s}"
+            )
+        if config.n_memory_nodes <= 0:
+            raise ConfigError(
+                "monitor_interval_s configures the availability monitors, "
+                "which exist only with memory-available nodes "
+                "(n_memory_nodes > 0)"
+            )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.errors import Interrupt, SimulationError
-from repro.sim.events import NORMAL, PENDING, URGENT, Event
+from repro.sim.events import PENDING, URGENT, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment

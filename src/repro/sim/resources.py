@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.sim.events import Event
 

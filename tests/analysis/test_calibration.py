@@ -2,7 +2,6 @@
 tolerance of the paper's measured value.  This is the test that makes
 the substitution argument (simulator for testbed) checkable."""
 
-import pytest
 
 from repro.analysis.calibration import calibration_report, run_calibration
 from repro.cluster.netperf import (

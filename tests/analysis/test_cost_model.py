@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import PAPER_COSTS, CostModel, predicted_fault_time_s
+from repro.analysis import PAPER_COSTS, predicted_fault_time_s
 from repro.cluster.specs import ATM_155
 
 

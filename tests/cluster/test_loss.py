@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import ATM_155, Message, Network, PROTOCOL_OVERHEAD_BYTES
+from repro.cluster import Message, Network, PROTOCOL_OVERHEAD_BYTES
 from repro.errors import NetworkError
 from repro.sim import Environment
 

@@ -8,7 +8,7 @@ from repro.core.remote_pager import RemoteMemoryPager, RemoteUpdatePager
 from repro.datagen import generate
 from repro.errors import NoMemoryAvailable
 from repro.mining import HashLine, apriori
-from repro.mining.hpa import HPAConfig, HPARun, run_hpa
+from repro.mining.hpa import HPAConfig, HPARun
 from repro.errors import MiningError
 from tests.core.helpers import make_rig
 

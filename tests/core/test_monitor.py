@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.cost_model import CostModel
 from tests.core.helpers import make_rig
 
 

@@ -11,6 +11,14 @@ def test_list_flag(capsys):
     assert "fig4" in out and "table2" in out
 
 
+def test_list_scenarios_flag(capsys):
+    assert main(["--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "named scenarios" in out
+    assert "baseline" in out and "remote-update" in out
+    assert "[hpa]" in out and "[npa]" in out
+
+
 def test_no_args_lists(capsys):
     assert main([]) == 0
     assert "available experiments" in capsys.readouterr().out

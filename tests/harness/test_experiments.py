@@ -5,7 +5,6 @@ experiments execute, report well-formed data, and hold the most basic
 orderings even on the tiny workload.
 """
 
-import pytest
 
 from repro.harness.experiments import (
     ALL_EXPERIMENTS,

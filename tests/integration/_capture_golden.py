@@ -1,0 +1,168 @@
+"""One-shot capture of pre-refactor golden values for the runtime
+equivalence test.
+
+Run from the repo root BEFORE the runtime refactor::
+
+    PYTHONPATH=src python tests/integration/_capture_golden.py
+
+Writes ``tests/integration/golden_runtime_equivalence.json`` with one
+entry per configuration: the mined itemsets (digested), total virtual
+time, and every simulated per-pass quantity.  The committed JSON pins
+the refactored drivers bit-for-bit to the pre-refactor behaviour.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.datagen import generate
+from repro.mining.hpa import HPAConfig, HPARun
+from repro.mining.npa import NPAConfig, NPARun
+
+DB_SPEC = {"workload": "T8.I3.D600", "n_items": 100, "seed": 7}
+BASE = {"minsup": 0.02, "n_app_nodes": 4, "total_lines": 256, "seed": 1}
+# Busiest-node pass-2 footprint fraction (as tests/integration/test_kernel_equivalence.py).
+PER_NODE_BYTES = (3828 // 4) * 24 + (256 // 4) * 16
+LIMIT = int(PER_NODE_BYTES * 0.45)
+NPA_LIMIT = int(3828 * 24 * 0.6)
+
+SPECS = {
+    "hpa-none": {"driver": "hpa", "overrides": {}},
+    "hpa-disk": {
+        "driver": "hpa",
+        "overrides": {"pager": "disk", "memory_limit_bytes": LIMIT},
+    },
+    "hpa-remote": {
+        "driver": "hpa",
+        "overrides": {
+            "pager": "remote", "n_memory_nodes": 3, "memory_limit_bytes": LIMIT,
+        },
+    },
+    "hpa-remote-update": {
+        "driver": "hpa",
+        "overrides": {
+            "pager": "remote-update", "n_memory_nodes": 3,
+            "memory_limit_bytes": LIMIT,
+        },
+    },
+    "hpa-remote-shortage": {
+        "driver": "hpa",
+        "overrides": {
+            "pager": "remote", "n_memory_nodes": 3, "memory_limit_bytes": LIMIT,
+        },
+        "shortages": [[0.05, 0], [0.09, 1]],
+    },
+    "hpa-remote-update-shortage": {
+        "driver": "hpa",
+        "overrides": {
+            "pager": "remote-update", "n_memory_nodes": 3,
+            "memory_limit_bytes": LIMIT,
+        },
+        "shortages": [[0.05, 0]],
+    },
+    "hpa-disk-fallback": {
+        "driver": "hpa",
+        "overrides": {
+            "pager": "remote", "n_memory_nodes": 1,
+            "memory_limit_bytes": LIMIT, "disk_fallback": True,
+        },
+        "shortages": [[0.05, 0]],
+    },
+    "npa-none": {"driver": "npa", "overrides": {}},
+    "npa-disk": {
+        "driver": "npa",
+        "overrides": {
+            "pager": "disk", "memory_limit_bytes": NPA_LIMIT, "max_k": 2,
+        },
+    },
+    "npa-remote": {
+        "driver": "npa",
+        "overrides": {
+            "pager": "remote", "n_memory_nodes": 3,
+            "memory_limit_bytes": NPA_LIMIT, "max_k": 2,
+        },
+    },
+    "npa-remote-update": {
+        "driver": "npa",
+        "overrides": {
+            "pager": "remote-update", "n_memory_nodes": 3,
+            "memory_limit_bytes": NPA_LIMIT, "max_k": 2,
+        },
+    },
+    "npa-remote-shortage": {
+        "driver": "npa",
+        "overrides": {
+            "pager": "remote", "n_memory_nodes": 3,
+            "memory_limit_bytes": NPA_LIMIT, "max_k": 2,
+        },
+        "shortages": [[0.05, 0]],
+    },
+}
+
+PASS_FIELDS = (
+    "k",
+    "n_candidates",
+    "per_node_candidates",
+    "n_large",
+    "duration_s",
+    "candgen_time_s",
+    "counting_time_s",
+    "determine_time_s",
+    "count_messages",
+    "faults_per_node",
+    "swap_outs_per_node",
+    "update_msgs_per_node",
+    "fault_time_per_node",
+    "n_duplicated",
+)
+
+
+def itemset_digest(large: dict) -> str:
+    canon = sorted((list(k), v) for k, v in large.items())
+    return hashlib.sha256(json.dumps(canon).encode()).hexdigest()
+
+
+def execute(spec: dict):
+    db = generate(
+        DB_SPEC["workload"], n_items=DB_SPEC["n_items"], seed=DB_SPEC["seed"]
+    )
+    kwargs = dict(BASE)
+    kwargs.update(spec["overrides"])
+    if spec["driver"] == "hpa":
+        run = HPARun(db, HPAConfig(**kwargs))
+    else:
+        run = NPARun(db, NPAConfig(**kwargs))
+    for t, idx in spec.get("shortages", []):
+        run.shortage_schedule.append((t, run.mem_ids[idx]))
+    return run.run()
+
+
+def capture(res) -> dict:
+    return {
+        "itemset_digest": itemset_digest(res.large_itemsets),
+        "n_large": len(res.large_itemsets),
+        "total_time_s": res.total_time_s,
+        "passes": [
+            {f: getattr(p, f) for f in PASS_FIELDS} for p in res.passes
+        ],
+    }
+
+
+def main() -> None:
+    out = {
+        "db": DB_SPEC,
+        "base": BASE,
+        "specs": SPECS,
+        "pass_fields": list(PASS_FIELDS),
+        "expected": {name: capture(execute(spec)) for name, spec in SPECS.items()},
+    }
+    path = Path(__file__).parent / "golden_runtime_equivalence.json"
+    path.write_text(json.dumps(out, indent=1))
+    print(f"wrote {path}")
+    for name, exp in out["expected"].items():
+        print(f"  {name:28s} n_large={exp['n_large']:4d} "
+              f"t={exp['total_time_s']:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,35 +1,71 @@
 """Smoke tests: every shipped example must run cleanly end to end.
 
-Slower examples are exercised through their importable main() in a
-subprocess with a generous timeout; failures here mean the public API
-drifted under the documentation.
+Two layers:
+
+- a parametrised in-process test importing each example and calling its
+  ``main(fast=True)`` at tiny scale — cheap enough for every CI run;
+- the full subprocess run at default scale with a generous timeout.
+
+Failures here mean the public API drifted under the documentation.
 """
 
+import importlib.util
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = sorted(
-    p.name for p in (Path(__file__).parents[2] / "examples").glob("*.py")
-)
+ROOT = Path(__file__).parents[2]
+EXAMPLES = sorted(p.name for p in (ROOT / "examples").glob("*.py"))
+
+
+def load_example(script: str):
+    """Import an example script as a throwaway module."""
+    path = ROOT / "examples" / script
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def test_all_examples_discovered():
-    assert len(EXAMPLES) >= 7
+    assert len(EXAMPLES) >= 8
     assert "quickstart.py" in EXAMPLES
+    assert "custom_scenario.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_main_is_fast_parametrisable(script):
+    """Every example exposes ``main(fast: bool = False)``."""
+    module = load_example(script)
+    assert callable(getattr(module, "main", None)), f"{script} has no main()"
+    import inspect
+
+    params = inspect.signature(module.main).parameters
+    assert "fast" in params, f"{script} main() lacks the fast= parameter"
+    assert params["fast"].default is False
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_tiny_scale(script, capsys):
+    """Import-and-main at tiny scale: the documented code paths work."""
+    module = load_example(script)
+    module.main(fast=True)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output in fast mode"
 
 
 @pytest.mark.parametrize("script", EXAMPLES)
 def test_example_runs(script):
-    root = Path(__file__).parents[2]
     proc = subprocess.run(
-        [sys.executable, str(root / "examples" / script)],
+        [sys.executable, str(ROOT / "examples" / script)],
         capture_output=True,
         text=True,
         timeout=600,
-        cwd=root,
+        cwd=ROOT,
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
     assert proc.stdout.strip(), f"{script} produced no output"

@@ -11,7 +11,7 @@ so the k >= 3 prefix-index path is exercised too.
 import pytest
 
 from repro.datagen import generate
-from repro.mining.hpa import HPAConfig, HPAResult, run_hpa
+from repro.mining.hpa import HPAConfig, run_hpa
 from repro.mining.npa import NPAConfig, run_npa
 
 DB = generate("T8.I3.D600", n_items=100, seed=7)

@@ -1,0 +1,64 @@
+"""Golden-value pin: the runtime refactor changed no simulated quantity.
+
+``golden_runtime_equivalence.json`` was captured from the pre-refactor
+drivers (duplicated in-driver cluster bring-up, ``lru_cache`` harness)
+by ``_capture_golden.py``.  Every configuration here — both drivers,
+all three pagers, shortage injection, the disk-fallback chain — must
+still produce bit-identical results: the mined itemsets, the virtual
+clock, message counts, and per-pass pagefault statistics.
+
+JSON round-trips floats exactly (``repr`` semantics), so ``==`` is the
+correct comparison: any drift, however small, is a behaviour change.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datagen import generate
+from repro.mining.hpa import HPAConfig, HPARun
+from repro.mining.npa import NPAConfig, NPARun
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_runtime_equivalence.json").read_text()
+)
+
+
+def itemset_digest(large: dict) -> str:
+    canon = sorted((list(k), v) for k, v in large.items())
+    return hashlib.sha256(json.dumps(canon).encode()).hexdigest()
+
+
+def execute(spec: dict):
+    db_spec = GOLDEN["db"]
+    db = generate(
+        db_spec["workload"], n_items=db_spec["n_items"], seed=db_spec["seed"]
+    )
+    kwargs = dict(GOLDEN["base"])
+    kwargs.update(spec["overrides"])
+    if spec["driver"] == "hpa":
+        run = HPARun(db, HPAConfig(**kwargs))
+    else:
+        run = NPARun(db, NPAConfig(**kwargs))
+    for t, idx in spec.get("shortages", []):
+        run.shortage_schedule.append((t, run.mem_ids[idx]))
+    return run.run()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["specs"]))
+def test_simulated_behaviour_matches_pre_refactor_golden(name):
+    spec = GOLDEN["specs"][name]
+    expected = GOLDEN["expected"][name]
+    res = execute(spec)
+
+    assert itemset_digest(res.large_itemsets) == expected["itemset_digest"]
+    assert len(res.large_itemsets) == expected["n_large"]
+    assert res.total_time_s == expected["total_time_s"]
+    assert len(res.passes) == len(expected["passes"])
+    for p, exp in zip(res.passes, expected["passes"]):
+        for field in GOLDEN["pass_fields"]:
+            assert getattr(p, field) == exp[field], (
+                f"{name}: pass {p.k} field {field!r} diverged"
+            )

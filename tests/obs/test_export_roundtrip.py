@@ -6,7 +6,6 @@ import pytest
 
 from repro.datagen import generate
 from repro.mining.hpa import HPAConfig, HPARun
-from repro.obs import Telemetry
 from repro.obs.export import (
     chrome_trace_events,
     read_events_jsonl,

@@ -6,7 +6,6 @@ ones were never hooked at all.  These tests pin that both drivers and
 the whole pager chain now report through the shared bus.
 """
 
-import pytest
 
 from repro.datagen import generate
 from repro.mining.hpa import HPAConfig, HPARun

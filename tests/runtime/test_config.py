@@ -1,0 +1,142 @@
+"""Every contradictory RunConfig is rejected at construction time.
+
+One test per rejection branch in
+:func:`repro.runtime.config.validate_config`: invalid configurations
+must raise :class:`~repro.errors.ConfigError` (a
+:class:`~repro.errors.MiningError` subclass, so pre-refactor callers
+catching MiningError still work) and must never reach the builder.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, MiningError
+from repro.runtime import RunConfig
+from repro.runtime.config import (
+    KERNELS,
+    PAGERS,
+    PLACEMENT_POLICIES,
+    REPLACEMENT_POLICIES,
+)
+
+
+def test_valid_default_config_builds():
+    cfg = RunConfig()
+    assert cfg.pager == "none"
+    assert cfg.n_memory_nodes == 0
+
+
+def test_config_error_is_mining_error():
+    assert issubclass(ConfigError, MiningError)
+
+
+@pytest.mark.parametrize("minsup", [0.0, -0.1, 1.5])
+def test_rejects_minsup_out_of_range(minsup):
+    with pytest.raises(ConfigError, match="minsup"):
+        RunConfig(minsup=minsup)
+
+
+@pytest.mark.parametrize("eld", [-0.1, 1.01])
+def test_rejects_eld_fraction_out_of_range(eld):
+    with pytest.raises(ConfigError, match="eld_fraction"):
+        RunConfig(eld_fraction=eld)
+
+
+@pytest.mark.parametrize("n", [0, -1])
+def test_rejects_nonpositive_app_nodes(n):
+    with pytest.raises(ConfigError, match="application node"):
+        RunConfig(n_app_nodes=n)
+
+
+def test_rejects_negative_memory_nodes():
+    with pytest.raises(ConfigError, match="n_memory_nodes"):
+        RunConfig(n_memory_nodes=-1)
+
+
+@pytest.mark.parametrize("lines", [0, -4])
+def test_rejects_nonpositive_total_lines(lines):
+    with pytest.raises(ConfigError, match="total_lines"):
+        RunConfig(total_lines=lines)
+
+
+def test_rejects_negative_max_k():
+    with pytest.raises(ConfigError, match="max_k"):
+        RunConfig(max_k=-1)
+
+
+def test_rejects_unknown_pager():
+    with pytest.raises(ConfigError, match="pager"):
+        RunConfig(pager="carrier-pigeon")
+
+
+def test_rejects_unknown_replacement_policy():
+    with pytest.raises(ConfigError, match="replacement"):
+        RunConfig(replacement="mru")
+
+
+def test_rejects_unknown_placement_policy():
+    with pytest.raises(ConfigError, match="placement"):
+        RunConfig(placement="first-fit")
+
+
+def test_rejects_unknown_kernel():
+    with pytest.raises(ConfigError, match="kernel"):
+        RunConfig(kernel="gpu")
+
+
+@pytest.mark.parametrize("pager", ["remote", "remote-update"])
+def test_rejects_remote_pager_without_memory_nodes(pager):
+    with pytest.raises(ConfigError, match="memory-available"):
+        RunConfig(pager=pager, n_memory_nodes=0)
+
+
+def test_rejects_memory_limit_without_pager():
+    with pytest.raises(ConfigError, match="requires a pager"):
+        RunConfig(memory_limit_bytes=1 << 20, pager="none")
+
+
+@pytest.mark.parametrize("limit", [0, -5])
+def test_rejects_nonpositive_memory_limit(limit):
+    with pytest.raises(ConfigError, match="memory_limit_bytes"):
+        RunConfig(memory_limit_bytes=limit, pager="disk")
+
+
+def test_rejects_nonpositive_send_window():
+    with pytest.raises(ConfigError, match="send window"):
+        RunConfig(send_window=0)
+
+
+@pytest.mark.parametrize("pager", ["none", "disk"])
+def test_rejects_disk_fallback_on_non_remote_pager(pager):
+    kw = {"n_memory_nodes": 0}
+    with pytest.raises(ConfigError, match="disk_fallback"):
+        RunConfig(pager=pager, disk_fallback=True, **kw)
+
+
+@pytest.mark.parametrize("p", [-0.1, 1.0])
+def test_rejects_loss_probability_out_of_range(p):
+    with pytest.raises(ConfigError, match="loss_probability"):
+        RunConfig(loss_probability=p)
+
+
+def test_rejects_nonpositive_monitor_interval():
+    with pytest.raises(ConfigError, match="monitor_interval_s"):
+        RunConfig(monitor_interval_s=0.0, n_memory_nodes=2)
+
+
+def test_rejects_monitor_interval_without_memory_nodes():
+    with pytest.raises(ConfigError, match="monitor"):
+        RunConfig(monitor_interval_s=0.5, n_memory_nodes=0)
+
+
+def test_npa_config_rejects_eld_fraction():
+    from repro.mining.npa import NPAConfig
+
+    with pytest.raises(ConfigError, match="eld_fraction"):
+        NPAConfig(eld_fraction=0.2)
+
+
+def test_catalogue_constants_are_consistent():
+    assert "none" in PAGERS and "remote-update" in PAGERS
+    assert "lru" in REPLACEMENT_POLICIES
+    assert "most-available" in PLACEMENT_POLICIES
+    assert "vector" in KERNELS

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import EmptySchedule
-from repro.sim import Environment, Event
+from repro.sim import Environment
 
 
 def test_clock_starts_at_zero():
