@@ -1,0 +1,46 @@
+"""Benchmark SW: the sweep engine's parallel executor and result store.
+
+Runs a representative slice of the declarative suite twice — serially,
+then with worker processes against a persistent result store — and
+asserts the engine's contract: byte-identical reports, persisted
+results, and a resumed pass that executes nothing.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import ALL_SWEEPS
+from repro.harness.sweep import run_sweep_outcome, shutdown_pools
+from repro.runtime import clear_cache, result_store_session
+
+#: Simulated sweeps with enough grid cells to exercise the pool.
+SLICE = ("table4", "fig4", "fig5")
+
+
+def suite(scale: str, jobs: int, store_dir):
+    clear_cache()
+    with result_store_session(store_dir):
+        try:
+            return {
+                name: run_sweep_outcome(ALL_SWEEPS[name], scale, jobs=jobs)
+                for name in SLICE
+            }
+        finally:
+            shutdown_pools()
+
+
+def test_sweep_engine(benchmark, scale, tmp_path):
+    parallel = run_once(benchmark, suite, scale, 2, tmp_path / "par")
+
+    # Serial run from cold caches and a different store.
+    serial = suite(scale, 1, tmp_path / "ser")
+    for name in SLICE:
+        assert (
+            parallel[name].report.to_json() == serial[name].report.to_json()
+        ), name
+
+    # Resume against the parallel store: everything cached, nothing run.
+    resumed = suite(scale, 1, tmp_path / "par")
+    for name in SLICE:
+        assert resumed[name].n_executed == 0, name
+        assert (
+            resumed[name].report.to_json() == parallel[name].report.to_json()
+        ), name

@@ -15,9 +15,15 @@ catalogue (``repro-bench --list-scenarios``); this example just sweeps
 the catalogue entries over the paper's memory-limit knob.
 
 Run:  python examples/remote_memory_comparison.py   (--fast: tiny run)
+
+Pass ``--store DIR`` to persist every run in the same content-addressed
+result store the CLI and benchmarks use; a second invocation (or a
+``repro-bench --resume`` afterwards) replays from disk instead of
+re-simulating.
 """
 
 import sys
+from contextlib import nullcontext
 from dataclasses import replace
 
 from repro.harness.scales import prepare_workload
@@ -62,4 +68,12 @@ def main(fast: bool = False) -> None:
 
 
 if __name__ == "__main__":
-    main(fast="--fast" in sys.argv)
+    if "--store" in sys.argv:
+        from repro.runtime import result_store_session
+
+        store_dir = sys.argv[sys.argv.index("--store") + 1]
+        session = result_store_session(store_dir)
+    else:
+        session = nullcontext()
+    with session:
+        main(fast="--fast" in sys.argv)

@@ -29,7 +29,7 @@ from repro.cluster.specs import (
     NicSpec,
     NodeSpec,
 )
-from repro.cluster.transport import Transport
+from repro.cluster.transport import Mailbox, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
@@ -42,6 +42,7 @@ __all__ = [
     "NetworkStats",
     "Message",
     "Transport",
+    "Mailbox",
     "Disk",
     "DiskStats",
     "MemoryLedger",
@@ -76,13 +77,16 @@ class Cluster:
         env: "Environment",
         n_nodes: int,
         spec: NodeSpec = PAPER_NODE,
+        mailbox_capacity: "int | None" = None,
     ) -> None:
         if n_nodes <= 0:
             raise ValueError(f"cluster needs at least one node, got {n_nodes}")
         self.env = env
         self.network = Network(env, nic=spec.nic)
         self.nodes = [Node(env, i, self.network, spec) for i in range(n_nodes)]
-        self.transport = Transport(self.network)
+        self.transport = Transport(
+            self.network, mailbox_capacity=mailbox_capacity
+        )
 
     def __len__(self) -> int:
         return len(self.nodes)

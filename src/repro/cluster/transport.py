@@ -2,39 +2,117 @@
 
 Models the paper's TLI mesh — every process pair is connected by an
 ordered, reliable byte stream.  Here each (node, channel-name) pair owns
-a mailbox :class:`~repro.sim.store.Store`; ``send`` moves a message
-across the :class:`~repro.cluster.network.Network` and deposits it in
-the destination mailbox, preserving per-sender ordering because each
+a :class:`Mailbox`; ``send`` moves a message across the
+:class:`~repro.cluster.network.Network` and deposits it in the
+destination mailbox, preserving per-sender ordering because each
 sender's egress NIC serialises its transmissions.
+
+Mailboxes are unbounded by default (the paper's TLI endpoints buffer in
+kernel memory); passing ``mailbox_capacity`` bounds every mailbox, so a
+sender whose receiver has fallen behind *blocks in virtual time* —
+back-pressure instead of infinite buffering.  Every mailbox keeps
+delivery/depth/occupancy statistics either way (:meth:`Transport.stats`).
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.errors import NetworkError
 from repro.cluster.network import Message, Network
 from repro.sim.process import Process
-from repro.sim.store import Store
+from repro.sim.store import Store, StoreGet, StorePut
 
-__all__ = ["Transport"]
+__all__ = ["Mailbox", "Transport"]
+
+
+class Mailbox(Store):
+    """A mailbox store that accounts for its own traffic.
+
+    Tracks total deliveries, the peak queue depth, how many puts ever
+    blocked on a full mailbox, and the time-weighted mean depth
+    (*occupancy*) — the queueing picture the flat counters of
+    ``NetworkStats`` can't show.
+    """
+
+    def __init__(
+        self, env, capacity: float = float("inf")
+    ) -> None:
+        super().__init__(env, capacity)
+        self.delivered = 0
+        self.peak_depth = 0
+        self.blocked_puts = 0
+        self._t0 = env.now
+        self._last_t = env.now
+        self._depth_area = 0.0
+
+    def _advance(self) -> None:
+        now = self.env.now
+        self._depth_area += len(self.items) * (now - self._last_t)
+        self._last_t = now
+
+    def _store_item(self, item: object) -> None:
+        self._advance()
+        super()._store_item(item)
+        self.delivered += 1
+        if len(self.items) > self.peak_depth:
+            self.peak_depth = len(self.items)
+
+    def _select_item(self, event: StoreGet) -> object:
+        self._advance()
+        return super()._select_item(event)
+
+    def _do_put(self, event: StorePut) -> bool:
+        done = super()._do_put(event)
+        # Count each put at most once, however many settlement rounds it
+        # spends waiting for room.
+        if not done and not getattr(event, "_mailbox_counted", False):
+            event._mailbox_counted = True  # type: ignore[attr-defined]
+            self.blocked_puts += 1
+        return done
+
+    def occupancy(self) -> float:
+        """Time-weighted mean queue depth since creation."""
+        self._advance()
+        elapsed = self._last_t - self._t0
+        return self._depth_area / elapsed if elapsed > 0 else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "delivered": self.delivered,
+            "depth": len(self.items),
+            "peak_depth": self.peak_depth,
+            "blocked_puts": self.blocked_puts,
+            "occupancy": self.occupancy(),
+        }
 
 
 class Transport:
     """Channel-addressed messaging on top of :class:`Network`."""
 
-    def __init__(self, network: Network) -> None:
+    def __init__(
+        self, network: Network, mailbox_capacity: Optional[int] = None
+    ) -> None:
+        if mailbox_capacity is not None and mailbox_capacity <= 0:
+            raise NetworkError(
+                f"mailbox capacity must be positive, got {mailbox_capacity}"
+            )
         self.network = network
         self.env = network.env
-        self._mailboxes: dict[tuple[int, str], Store] = {}
+        self.mailbox_capacity = mailbox_capacity
+        self._mailboxes: dict[tuple[int, str], Mailbox] = {}
 
-    def mailbox(self, node_id: int, channel: str) -> Store:
+    def mailbox(self, node_id: int, channel: str) -> Mailbox:
         """The mailbox for ``channel`` on ``node_id`` (created on demand)."""
         key = (node_id, channel)
         if key not in self._mailboxes:
             if node_id not in self.network.node_ids:
                 raise NetworkError(f"unknown node {node_id}")
-            self._mailboxes[key] = Store(self.env)
+            capacity = (
+                float("inf") if self.mailbox_capacity is None
+                else self.mailbox_capacity
+            )
+            self._mailboxes[key] = Mailbox(self.env, capacity)
         return self._mailboxes[key]
 
     def send(
@@ -95,3 +173,11 @@ class Transport:
     def pending(self, node_id: int, channel: str) -> int:
         """Number of undelivered messages waiting in the mailbox."""
         return len(self.mailbox(node_id, channel))
+
+    def stats(self) -> "dict[str, dict]":
+        """Per-mailbox delivery/depth/occupancy statistics, keyed
+        ``"<node>:<channel>"`` in creation order."""
+        return {
+            f"{node_id}:{channel}": mbox.stats()
+            for (node_id, channel), mbox in self._mailboxes.items()
+        }

@@ -4,10 +4,14 @@ Usage::
 
     repro-bench fig4                 # one experiment at the small scale
     repro-bench all --scale full     # every experiment, paper-like layout
+    repro-bench all --jobs 4         # fan scenario runs out to 4 workers
+    repro-bench all --resume         # reuse results persisted in .repro-store
     repro-bench --list
 
 Each experiment prints the same rows/series the paper's table or figure
-reports, at the selected workload scale.
+reports, at the selected workload scale.  ``--jobs``/``--resume`` only
+change *how* scenarios are executed (worker processes, the persistent
+result store) — the printed reports are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -70,6 +74,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect full telemetry (events, metrics, Chrome trace, "
         "manifest) for every run into <DIR>; summarize with repro-trace",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="execute scenario grids with N worker processes "
+        "(default: 1, in-process); reports are byte-identical either way",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist every scenario result in a content-addressed store "
+        "at <DIR> and reuse whatever is already there",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse results persisted by a previous invocation; shorthand "
+        "for --store .repro-store when --store is not given",
+    )
+    parser.add_argument(
+        "--sweep-json",
+        metavar="FILE",
+        default=None,
+        help="write per-experiment wall-clock and cache accounting "
+        "(the BENCH_sweep.json row format) to <FILE>",
+    )
     return parser
 
 
@@ -116,6 +148,8 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    from contextlib import nullcontext
+
     telemetry = None
     if args.trace is not None:
         from repro.obs import Telemetry, telemetry_session
@@ -126,25 +160,71 @@ def main(argv: "list[str] | None" = None) -> int:
         telemetry = Telemetry()
         session = telemetry_session(telemetry)
     else:
-        from contextlib import nullcontext
-
         session = nullcontext()
 
-    wall_start = time.perf_counter()
-    with session:
-        for name in names:
-            start = time.perf_counter()
-            report = ALL_EXPERIMENTS[name](args.scale)
-            elapsed = time.perf_counter() - start
-            print(report)
-            print(f"[{name} completed in {elapsed:.1f}s wall]")
-            print()
-            if args.json is not None:
-                import pathlib
+    store = None
+    store_dir = args.store
+    if args.resume and store_dir is None:
+        store_dir = ".repro-store"
+    if store_dir is not None:
+        from repro.runtime import ResultStore, result_store_session
 
-                out = pathlib.Path(args.json)
-                out.mkdir(parents=True, exist_ok=True)
-                (out / f"{name}.json").write_text(report.to_json())
+        store = ResultStore(store_dir)
+        store_session = result_store_session(store)
+    else:
+        store_session = nullcontext()
+
+    from repro.harness.sweep import run_sweep_outcome, shutdown_pools
+
+    outcomes = []
+    wall_start = time.perf_counter()
+    try:
+        with session, store_session:
+            for name in names:
+                start = time.perf_counter()
+                outcome = run_sweep_outcome(
+                    ALL_EXPERIMENTS[name], args.scale, jobs=args.jobs
+                )
+                elapsed = time.perf_counter() - start
+                outcomes.append(outcome)
+                print(outcome.report)
+                print(
+                    f"[{name} completed in {elapsed:.1f}s wall; "
+                    f"{outcome.n_cached} cached / "
+                    f"{outcome.n_executed} executed]"
+                )
+                print()
+                if args.json is not None:
+                    import pathlib
+
+                    out = pathlib.Path(args.json)
+                    out.mkdir(parents=True, exist_ok=True)
+                    (out / f"{name}.json").write_text(outcome.report.to_json())
+    finally:
+        shutdown_pools()
+
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"[result store {stats['path']}: {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['writes']} writes, "
+            f"{stats['entries']} entries]"
+        )
+    if args.sweep_json is not None:
+        import json
+        import pathlib
+
+        payload = {
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "wall_s": time.perf_counter() - wall_start,
+            "store": store.stats() if store is not None else None,
+            "experiments": [o.timing_dict() for o in outcomes],
+        }
+        sweep_out = pathlib.Path(args.sweep_json)
+        sweep_out.parent.mkdir(parents=True, exist_ok=True)
+        sweep_out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[sweep timings written to {sweep_out}]")
 
     if telemetry is not None:
         import platform

@@ -1,15 +1,27 @@
-"""One function per paper table/figure: run, and report paper-style rows.
+"""Every paper table/figure as a declarative :class:`Sweep`.
 
-Every experiment returns an :class:`ExperimentReport` whose ``text`` is
-the same table/series the paper prints, plus machine-readable ``data``
-used by the benchmark assertions and EXPERIMENTS.md.
+One experiment = one :class:`~repro.harness.sweep.Sweep`: a data-driven
+grid of :class:`~repro.runtime.scenarios.Scenario` variations plus a
+report builder that folds the keyed results into an
+:class:`~repro.harness.sweep.ExperimentReport` (the same table/series
+the paper prints, plus machine-readable ``data``).  The sweep engine
+(:mod:`repro.harness.sweep.engine`) owns execution: cache tiers, the
+persistent result store, and the ``--jobs N`` process pool.  There is
+exactly one execution path — :func:`repro.runtime.run_scenario` — for
+the experiments, benchmarks, CLI, and examples alike.
+
+Each sweep's ``doc`` is the paper-vs-measured narrative from which
+``EXPERIMENTS.md`` is regenerated
+(``python -m repro.harness.sweep.docs``).
+
+The historical ``exp_*`` names remain importable and callable
+(``exp_fig4_method_comparison("small")``): a :class:`Sweep` called with
+a scale name runs itself serially and returns its report.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.analysis import (
     disk_comparison,
@@ -22,10 +34,11 @@ from repro.analysis import (
 from repro.analysis.cost_model import PAPER_COSTS
 from repro.cluster.specs import ATM_155
 from repro.datagen import generate
-from repro.mining import apriori, skew_statistics
-from repro.mining.hpa import HPAResult
 from repro.harness.scales import SCALES, prepare_workload
-from repro.runtime.scenarios import Scenario, run_scenario
+from repro.harness.sweep import ExperimentReport, Sweep
+from repro.mining import apriori, skew_statistics
+from repro.runtime.results import RunResult
+from repro.runtime.scenarios import Scenario
 
 __all__ = [
     "ExperimentReport",
@@ -44,100 +57,30 @@ __all__ = [
     "exp_scaling",
     "exp_npa_comparison",
     "exp_hotpath",
+    "ALL_SWEEPS",
     "ALL_EXPERIMENTS",
 ]
 
-
-@dataclass
-class ExperimentReport:
-    """A rendered paper artifact plus its underlying data."""
-
-    exp_id: str
-    title: str
-    text: str
-    data: dict = field(default_factory=dict)
-    paper_shape: str = ""
-
-    def __str__(self) -> str:  # pragma: no cover - convenience
-        header = f"== {self.exp_id}: {self.title} =="
-        parts = [header, self.text]
-        if self.paper_shape:
-            parts.append(f"[paper shape] {self.paper_shape}")
-        return "\n".join(parts)
-
-    def to_json(self) -> str:
-        """Machine-readable dump (keys stringified for JSON)."""
-
-        def keyfix(obj):
-            if isinstance(obj, dict):
-                return {str(k): keyfix(v) for k, v in obj.items()}
-            if isinstance(obj, (list, tuple)):
-                return [keyfix(v) for v in obj]
-            return obj
-
-        return json.dumps(
-            {
-                "exp_id": self.exp_id,
-                "title": self.title,
-                "paper_shape": self.paper_shape,
-                "data": keyfix(self.data),
-            },
-            indent=2,
-        )
+Results = Mapping[str, RunResult]
 
 
-def _run_cached(
-    scale_name: str,
-    pager: str,
-    n_mem: int,
-    paper_mb: Optional[float],
-    replacement: str = "lru",
-    monitor_interval_s: Optional[float] = None,
-    message_block_bytes: Optional[int] = None,
-    shortages: tuple = (),
-    eld_fraction: float = 0.0,
-    loss_probability: float = 0.0,
-    driver: str = "hpa",
-) -> HPAResult:
-    """Execute one driver configuration through the scenario layer.
-
-    Results are shared across experiments by the runtime's explicit
-    scenario cache (``repro.runtime.clear_cache`` empties it;
-    ``repro.runtime.cache_stats`` reports hits/misses).
-    """
-    return run_scenario(
-        Scenario(
-            driver=driver,
-            scale=scale_name,
-            pager=pager,
-            n_memory_nodes=n_mem,
-            paper_mb=paper_mb,
-            replacement=replacement,
-            monitor_interval_s=monitor_interval_s,
-            message_block_bytes=message_block_bytes,
-            shortages=shortages,
-            eld_fraction=eld_fraction,
-            loss_probability=loss_probability,
-        )
-    )
-
-
-def _pass2_time(res: HPAResult) -> float:
+def _pass2_time(res: RunResult) -> float:
     return res.pass_result(2).duration_s
 
 
+def _limit_label(mb: Optional[float]) -> str:
+    return "no limit" if mb is None else f"{mb:g}MB"
+
+
 # ---------------------------------------------------------------------------
-# Table 2 — candidate / large itemsets at each pass
+# Table 2 — candidate / large itemsets at each pass (analytic)
 # ---------------------------------------------------------------------------
 
-def exp_table2_pass_profile(scale: str = "small") -> ExperimentReport:
-    """Reproduce Table 2's per-pass candidate explosion.
-
-    The paper mines 10 M transactions at 0.7 % support; pass 2's
+def _report_table2(scale: str, results: Results) -> ExperimentReport:
+    """The paper mines 10 M transactions at 0.7 % support; pass 2's
     candidate count dwarfs every other pass and the run dies out by
     pass 5.  We mine a scaled workload at a support chosen to terminate
-    naturally within a few passes.
-    """
+    naturally within a few passes."""
     s = SCALES[scale]
     db = generate(s.workload, n_items=s.n_items, seed=s.seed)
     # A higher support than the swapping experiments so that later passes
@@ -172,11 +115,11 @@ def exp_table2_pass_profile(scale: str = "small") -> ExperimentReport:
 
 
 # ---------------------------------------------------------------------------
-# Table 3 — candidate 2-itemsets per node (hash partitioning skew)
+# Table 3 — candidate 2-itemsets per node (analytic)
 # ---------------------------------------------------------------------------
 
-def exp_table3_partition_skew(scale: str = "small") -> ExperimentReport:
-    """Reproduce Table 3: per-node candidate counts are close but skewed."""
+def _report_table3(scale: str, results: Results) -> ExperimentReport:
+    """Per-node candidate counts are close but skewed (Table 3)."""
     prep = prepare_workload(scale)
     stats = skew_statistics(prep.per_node_candidates)
     rows = [
@@ -219,16 +162,30 @@ def exp_table3_partition_skew(scale: str = "small") -> ExperimentReport:
 # Table 4 — execution time of each pagefault
 # ---------------------------------------------------------------------------
 
-def exp_table4_pagefault_cost(scale: str = "small") -> ExperimentReport:
-    """Reproduce Table 4: per-pagefault time from Exec/Diff/Max columns."""
+def _grid_table4(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    n_mem = s.max_memory_nodes
+    cells = {
+        "no limit": Scenario(
+            scale=scale, pager="remote", n_memory_nodes=n_mem
+        )
+    }
+    for mb in s.limits_mb:
+        cells[_limit_label(mb)] = Scenario(
+            scale=scale, pager="remote", n_memory_nodes=n_mem, paper_mb=mb
+        )
+    return cells
+
+
+def _report_table4(scale: str, results: Results) -> ExperimentReport:
+    """Per-pagefault time from the Exec/Diff/Max columns (Table 4)."""
     prep = prepare_workload(scale)
     n_mem = prep.scale.max_memory_nodes
-    baseline = _pass2_time(_run_cached(scale, "remote", n_mem, None))
+    baseline = _pass2_time(results["no limit"])
     rows = []
     per_fault = {}
     for mb in prep.scale.limits_mb:
-        res = _run_cached(scale, "remote", n_mem, mb)
-        p2 = res.pass_result(2)
+        p2 = results[_limit_label(mb)].pass_result(2)
         row = pagefault_row(f"{mb:g}MB", p2.duration_s, baseline, p2.max_faults)
         rows.append(row)
         per_fault[mb] = row.per_fault_s
@@ -268,17 +225,28 @@ def exp_table4_pagefault_cost(scale: str = "small") -> ExperimentReport:
 # Figure 3 — execution time vs number of memory-available nodes
 # ---------------------------------------------------------------------------
 
-def exp_fig3_memory_nodes(scale: str = "small") -> ExperimentReport:
-    """Reproduce Figure 3: few memory nodes bottleneck the fault service."""
+def _grid_fig3(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    return {
+        f"{_limit_label(mb)}|n={n}": Scenario(
+            scale=scale, pager="remote", n_memory_nodes=n, paper_mb=mb
+        )
+        for mb in (*s.limits_mb, None)
+        for n in s.memory_node_counts
+    }
+
+
+def _report_fig3(scale: str, results: Results) -> ExperimentReport:
+    """Few memory nodes bottleneck the fault service (Figure 3)."""
     prep = prepare_workload(scale)
     series: dict[str, dict[int, float]] = {}
     for mb in prep.scale.limits_mb:
         series[f"limit {mb:g}MB"] = {
-            n: _pass2_time(_run_cached(scale, "remote", n, mb))
+            n: _pass2_time(results[f"{_limit_label(mb)}|n={n}"])
             for n in prep.scale.memory_node_counts
         }
     series["no limit"] = {
-        n: _pass2_time(_run_cached(scale, "remote", n, None))
+        n: _pass2_time(results[f"no limit|n={n}"])
         for n in prep.scale.memory_node_counts
     }
     text = render_series(
@@ -307,19 +275,32 @@ def exp_fig3_memory_nodes(scale: str = "small") -> ExperimentReport:
 # Figure 4 — disk vs simple swapping vs remote update
 # ---------------------------------------------------------------------------
 
-def exp_fig4_method_comparison(scale: str = "small") -> ExperimentReport:
-    """Reproduce Figure 4: the three swapping mechanisms vs usage limit."""
+def _grid_fig4(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    n_mem = s.max_memory_nodes
+    cells: "dict[str, Scenario]" = {}
+    for mb in s.limits_mb:
+        cells[f"disk|{mb:g}"] = Scenario(scale=scale, pager="disk", paper_mb=mb)
+        cells[f"simple|{mb:g}"] = Scenario(
+            scale=scale, pager="remote", n_memory_nodes=n_mem, paper_mb=mb
+        )
+        cells[f"update|{mb:g}"] = Scenario(
+            scale=scale, pager="remote-update", n_memory_nodes=n_mem, paper_mb=mb
+        )
+    return cells
+
+
+def _report_fig4(scale: str, results: Results) -> ExperimentReport:
+    """The three swapping mechanisms vs usage limit (Figure 4)."""
     prep = prepare_workload(scale)
     n_mem = prep.scale.max_memory_nodes
     series: dict[str, dict[float, float]] = {
         "disk swapping": {}, "simple swapping": {}, "remote update": {},
     }
     for mb in prep.scale.limits_mb:
-        series["disk swapping"][mb] = _pass2_time(_run_cached(scale, "disk", 0, mb))
-        series["simple swapping"][mb] = _pass2_time(_run_cached(scale, "remote", n_mem, mb))
-        series["remote update"][mb] = _pass2_time(
-            _run_cached(scale, "remote-update", n_mem, mb)
-        )
+        series["disk swapping"][mb] = _pass2_time(results[f"disk|{mb:g}"])
+        series["simple swapping"][mb] = _pass2_time(results[f"simple|{mb:g}"])
+        series["remote update"][mb] = _pass2_time(results[f"update|{mb:g}"])
     text = render_series(
         "usage limit [MB]",
         series,
@@ -347,9 +328,42 @@ def exp_fig4_method_comparison(scale: str = "small") -> ExperimentReport:
 # Figure 5 — dynamic memory migration
 # ---------------------------------------------------------------------------
 
-def exp_fig5_migration(scale: str = "small") -> ExperimentReport:
-    """Reproduce Figure 5: migrating 0/1/2 memory nodes away mid-run
-    changes execution time only marginally."""
+def _grid_fig5(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    n_mem = s.max_memory_nodes
+    return {
+        f"base|{mb:g}": Scenario(
+            scale=scale, pager="remote-update", n_memory_nodes=n_mem, paper_mb=mb
+        )
+        for mb in s.limits_mb
+    }
+
+
+def _followups_fig5(scale: str, results: Results) -> "dict[str, Scenario]":
+    """Derived stage: shortages are scheduled *inside* the measured pass
+    of each base run (40 % and 60 % of pass 2), so their injection times
+    come from stage-1 results."""
+    s = SCALES[scale]
+    n_mem = s.max_memory_nodes
+    cells: "dict[str, Scenario]" = {}
+    for mb in s.limits_mb:
+        p2 = results[f"base|{mb:g}"].pass_result(2)
+        t1 = p2.start_time + 0.4 * p2.duration_s
+        t2 = p2.start_time + 0.6 * p2.duration_s
+        cells[f"one|{mb:g}"] = Scenario(
+            scale=scale, pager="remote-update", n_memory_nodes=n_mem,
+            paper_mb=mb, shortages=((t1, 0),),
+        )
+        cells[f"two|{mb:g}"] = Scenario(
+            scale=scale, pager="remote-update", n_memory_nodes=n_mem,
+            paper_mb=mb, shortages=((t1, 0), (t2, 1)),
+        )
+    return cells
+
+
+def _report_fig5(scale: str, results: Results) -> ExperimentReport:
+    """Migrating 0/1/2 memory nodes away mid-run changes execution time
+    only marginally (Figure 5)."""
     prep = prepare_workload(scale)
     n_mem = prep.scale.max_memory_nodes
     series: dict[str, dict[float, float]] = {
@@ -358,18 +372,15 @@ def exp_fig5_migration(scale: str = "small") -> ExperimentReport:
         "2 memory nodes unavailable": {},
     }
     for mb in prep.scale.limits_mb:
-        base = _run_cached(scale, "remote-update", n_mem, mb)
-        p2 = base.pass_result(2)
-        series["all memory nodes available"][mb] = p2.duration_s
-        # Signal shortages inside pass 2's counting phase.
-        t1 = p2.start_time + 0.4 * p2.duration_s
-        t2 = p2.start_time + 0.6 * p2.duration_s
-        one = _run_cached(scale, "remote-update", n_mem, mb, shortages=((t1, 0),))
-        series["1 memory node unavailable"][mb] = _pass2_time(one)
-        two = _run_cached(
-            scale, "remote-update", n_mem, mb, shortages=((t1, 0), (t2, 1))
+        series["all memory nodes available"][mb] = _pass2_time(
+            results[f"base|{mb:g}"]
         )
-        series["2 memory nodes unavailable"][mb] = _pass2_time(two)
+        series["1 memory node unavailable"][mb] = _pass2_time(
+            results[f"one|{mb:g}"]
+        )
+        series["2 memory nodes unavailable"][mb] = _pass2_time(
+            results[f"two|{mb:g}"]
+        )
     text = render_series(
         "usage limit [MB]",
         series,
@@ -395,11 +406,11 @@ def exp_fig5_migration(scale: str = "small") -> ExperimentReport:
 
 
 # ---------------------------------------------------------------------------
-# §5.2 — disk access-time analysis
+# §5.2 — disk access-time analysis (analytic)
 # ---------------------------------------------------------------------------
 
-def exp_disk_access_analysis(scale: str = "small") -> ExperimentReport:
-    """Reproduce §5.2's closing arithmetic: remote memory vs disks."""
+def _report_disk(scale: str, results: Results) -> ExperimentReport:
+    """§5.2's closing arithmetic: remote memory vs disks."""
     rows = disk_comparison()
     text = render_table(
         ["device", "seek [ms]", "rotation [ms]", "access [ms]", "x remote"],
@@ -424,16 +435,30 @@ def exp_disk_access_analysis(scale: str = "small") -> ExperimentReport:
 # §5.4 — monitoring-interval sensitivity (ablation)
 # ---------------------------------------------------------------------------
 
-def exp_monitor_interval(scale: str = "small") -> ExperimentReport:
-    """Reproduce §5.4's claim: 1-3 s intervals are free, very short
-    intervals cost monitoring/communication overhead."""
+#: Intervals swept by the §5.4 sensitivity study (seconds).
+MONITOR_INTERVALS_S = (0.02, 0.1, 1.0, 3.0, 10.0)
+
+
+def _grid_monitor(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    mb = s.limits_mb[1]
+    return {
+        f"interval={i:g}": Scenario(
+            scale=scale, pager="remote", n_memory_nodes=s.max_memory_nodes,
+            paper_mb=mb, monitor_interval_s=i,
+        )
+        for i in MONITOR_INTERVALS_S
+    }
+
+
+def _report_monitor(scale: str, results: Results) -> ExperimentReport:
+    """§5.4's claim: 1-3 s intervals are free, very short intervals cost
+    monitoring/communication overhead."""
     prep = prepare_workload(scale)
     n_mem = prep.scale.max_memory_nodes
     mb = prep.scale.limits_mb[1]
-    intervals = (0.02, 0.1, 1.0, 3.0, 10.0)
     times = {
-        i: _pass2_time(_run_cached(scale, "remote", n_mem, mb, monitor_interval_s=i))
-        for i in intervals
+        i: _pass2_time(results[f"interval={i:g}"]) for i in MONITOR_INTERVALS_S
     }
     text = render_series(
         "monitor interval [s]",
@@ -454,16 +479,29 @@ def exp_monitor_interval(scale: str = "small") -> ExperimentReport:
 # Ablation A1 — replacement policy
 # ---------------------------------------------------------------------------
 
-def exp_ablation_policy(scale: str = "small") -> ExperimentReport:
+REPLACEMENT_SWEEP = ("lru", "fifo", "random")
+
+
+def _grid_policy(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    mb = s.limits_mb[0]
+    return {
+        policy: Scenario(
+            scale=scale, pager="remote", n_memory_nodes=s.max_memory_nodes,
+            paper_mb=mb, replacement=policy,
+        )
+        for policy in REPLACEMENT_SWEEP
+    }
+
+
+def _report_policy(scale: str, results: Results) -> ExperimentReport:
     """Quantify the paper's LRU choice against FIFO and random."""
     prep = prepare_workload(scale)
-    n_mem = prep.scale.max_memory_nodes
     mb = prep.scale.limits_mb[0]
     rows = []
     data = {}
-    for policy in ("lru", "fifo", "random"):
-        res = _run_cached(scale, "remote", n_mem, mb, replacement=policy)
-        p2 = res.pass_result(2)
+    for policy in REPLACEMENT_SWEEP:
+        p2 = results[policy].pass_result(2)
         rows.append((policy, p2.duration_s, p2.max_faults))
         data[policy] = {"time_s": p2.duration_s, "max_faults": p2.max_faults}
     text = render_table(
@@ -485,20 +523,34 @@ def exp_ablation_policy(scale: str = "small") -> ExperimentReport:
 # Ablation A2 — message block size
 # ---------------------------------------------------------------------------
 
-def exp_ablation_blocksize(scale: str = "small") -> ExperimentReport:
+BLOCK_SIZES_B = (1024, 4096, 16384)
+
+
+def _grid_blocksize(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    n_mem = s.max_memory_nodes
+    mb = s.limits_mb[0]
+    cells: "dict[str, Scenario]" = {}
+    for size in BLOCK_SIZES_B:
+        cells[f"simple|{size}"] = Scenario(
+            scale=scale, pager="remote", n_memory_nodes=n_mem, paper_mb=mb,
+            message_block_bytes=size,
+        )
+        cells[f"update|{size}"] = Scenario(
+            scale=scale, pager="remote-update", n_memory_nodes=n_mem,
+            paper_mb=mb, message_block_bytes=size,
+        )
+    return cells
+
+
+def _report_blocksize(scale: str, results: Results) -> ExperimentReport:
     """Vary the 4 KB message block of §5.1."""
     prep = prepare_workload(scale)
-    n_mem = prep.scale.max_memory_nodes
     mb = prep.scale.limits_mb[0]
-    sizes = (1024, 4096, 16384)
     series: dict[str, dict[int, float]] = {"simple swapping": {}, "remote update": {}}
-    for size in sizes:
-        series["simple swapping"][size] = _pass2_time(
-            _run_cached(scale, "remote", n_mem, mb, message_block_bytes=size)
-        )
-        series["remote update"][size] = _pass2_time(
-            _run_cached(scale, "remote-update", n_mem, mb, message_block_bytes=size)
-        )
+    for size in BLOCK_SIZES_B:
+        series["simple swapping"][size] = _pass2_time(results[f"simple|{size}"])
+        series["remote update"][size] = _pass2_time(results[f"update|{size}"])
     text = render_series(
         "message block [B]",
         series,
@@ -518,20 +570,30 @@ def exp_ablation_blocksize(scale: str = "small") -> ExperimentReport:
 # Ablation A3 — HPA-ELD skew handling
 # ---------------------------------------------------------------------------
 
-def exp_ablation_eld(scale: str = "small") -> ExperimentReport:
+ELD_FRACTIONS = (0.0, 0.02, 0.1, 0.3)
+
+
+def _grid_eld(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    mb = s.limits_mb[1]
+    return {
+        f"eld={frac:g}": Scenario(
+            scale=scale, pager="remote-update",
+            n_memory_nodes=s.max_memory_nodes, paper_mb=mb, eld_fraction=frac,
+        )
+        for frac in ELD_FRACTIONS
+    }
+
+
+def _report_eld(scale: str, results: Results) -> ExperimentReport:
     """The skew-handling extension the paper cites: duplicate the most
     frequent candidates everywhere, count them locally."""
     prep = prepare_workload(scale)
-    n_mem = prep.scale.max_memory_nodes
     mb = prep.scale.limits_mb[1]
-    fractions = (0.0, 0.02, 0.1, 0.3)
     rows = []
     data = {}
-    for frac in fractions:
-        res = _run_cached(
-            scale, "remote-update", n_mem, mb, eld_fraction=frac
-        )
-        p2 = res.pass_result(2)
+    for frac in ELD_FRACTIONS:
+        p2 = results[f"eld={frac:g}"].pass_result(2)
         rows.append(
             (f"{frac:g}", p2.n_duplicated, p2.count_messages, p2.duration_s)
         )
@@ -559,21 +621,31 @@ def exp_ablation_eld(scale: str = "small") -> ExperimentReport:
 # Ablation A4 — UBR cell loss / TCP retransmission
 # ---------------------------------------------------------------------------
 
-def exp_ablation_loss(scale: str = "small") -> ExperimentReport:
+LOSS_PROBABILITIES = (0.0, 0.001, 0.01)
+
+
+def _grid_loss(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    mb = s.limits_mb[1]
+    return {
+        f"loss={loss:g}": Scenario(
+            scale=scale, pager="remote", n_memory_nodes=s.max_memory_nodes,
+            paper_mb=mb, loss_probability=loss,
+        )
+        for loss in LOSS_PROBABILITIES
+    }
+
+
+def _report_loss(scale: str, results: Results) -> ExperimentReport:
     """Extension: the cluster runs TCP over ATM's UBR class; quantify how
     segment loss (and the retransmission timeout it triggers) erodes the
     remote-memory advantage."""
     prep = prepare_workload(scale)
-    n_mem = prep.scale.max_memory_nodes
     mb = prep.scale.limits_mb[1]
-    losses = (0.0, 0.001, 0.01)
     rows = []
     data = {}
-    for loss in losses:
-        res = _run_cached(
-            scale, "remote", n_mem, mb, loss_probability=loss
-        )
-        p2 = res.pass_result(2)
+    for loss in LOSS_PROBABILITIES:
+        p2 = results[f"loss={loss:g}"].pass_result(2)
         rows.append((f"{loss:g}", p2.duration_s))
         data[loss] = p2.duration_s
     text = render_table(
@@ -595,24 +667,31 @@ def exp_ablation_loss(scale: str = "small") -> ExperimentReport:
 # Baseline — NPA vs HPA under shrinking memory (§2.2's motivation)
 # ---------------------------------------------------------------------------
 
-def exp_npa_comparison(scale: str = "small") -> ExperimentReport:
+def _grid_npa(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    n_mem = s.max_memory_nodes
+    cells: "dict[str, Scenario]" = {}
+    for driver in ("hpa", "npa"):
+        cells[f"{driver}|no limit"] = Scenario(driver=driver, scale=scale)
+        for mb in s.limits_mb:
+            cells[f"{driver}|{mb:g}MB"] = Scenario(
+                driver=driver, scale=scale, pager="remote-update",
+                n_memory_nodes=n_mem, paper_mb=mb,
+            )
+    return cells
+
+
+def _report_npa(scale: str, results: Results) -> ExperimentReport:
     """Quantify §2.2's claim that HPA "effectively utilizes the whole
     memory space of all the processors": NPA duplicates the candidate set
     on every node and collapses first as the per-node limit shrinks."""
-    prep = prepare_workload(scale)
-    s = prep.scale
-    n_mem = s.max_memory_nodes
+    s = SCALES[scale]
     series: dict[str, dict[str, float]] = {"HPA": {}, "NPA": {}}
     data: dict = {}
-
     labels = ["no limit"] + [f"{mb:g}MB" for mb in s.limits_mb]
-    for label, mb in zip(labels, [None, *s.limits_mb]):
-        if mb is not None:
-            hpa = _run_cached(scale, "remote-update", n_mem, mb)
-            npa = _run_cached(scale, "remote-update", n_mem, mb, driver="npa")
-        else:
-            hpa = _run_cached(scale, "none", 0, None)
-            npa = _run_cached(scale, "none", 0, None, driver="npa")
+    for label in labels:
+        hpa = results[f"hpa|{label}"]
+        npa = results[f"npa|{label}"]
         series["HPA"][label] = hpa.pass_result(2).duration_s
         series["NPA"][label] = npa.pass_result(2).duration_s
         data[label] = {
@@ -639,54 +718,35 @@ def exp_npa_comparison(scale: str = "small") -> ExperimentReport:
 
 
 # ---------------------------------------------------------------------------
-# Hot path — host wall-clock of the counting kernels vs the naive loops
-# ---------------------------------------------------------------------------
-
-def exp_hotpath(scale: str = "small") -> ExperimentReport:
-    """Benchmark the vectorized counting kernels against the naive
-    per-occurrence loops and verify bit-identical simulated behaviour.
-
-    Unlike every other experiment here, this one measures *host*
-    wall-clock, not simulated time — the kernels are required to leave
-    every simulated quantity untouched, which the result hash checks.
-    """
-    from repro.harness.hotpath import render_hotpath, run_hotpath
-
-    data = run_hotpath(scale)
-    return ExperimentReport(
-        exp_id="HP",
-        title="Counting-kernel hot-path speedup (host wall-clock)",
-        text=render_hotpath(data),
-        data=data,
-        paper_shape="simulated results identical between kernels; host "
-        "wall-clock of pass-2 counting drops >=3x at the default scale.",
-    )
-
-
-# ---------------------------------------------------------------------------
 # Scaling — speedup with application nodes (paper §3.3's claim)
 # ---------------------------------------------------------------------------
 
-def exp_scaling(scale: str = "small") -> ExperimentReport:
+def _scaling_counts(scale: str) -> "list[int]":
+    s = SCALES[scale]
+    return [n for n in (1, 2, 4, 8) if n <= max(8, s.n_app_nodes)]
+
+
+def _grid_scaling(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    return {
+        f"n={n}": Scenario(
+            scale=scale,
+            n_app_nodes=n,
+            total_lines=(s.total_lines // n) * n or n,
+        )
+        for n in _scaling_counts(scale)
+    }
+
+
+def _report_scaling(scale: str, results: Results) -> ExperimentReport:
     """Speedup of the (no-limit) HPA run as application nodes are added.
 
     §3.3: "When the PC cluster using 100 PCs is employed for this
     problem, reasonably good performance improvement is [obtained]".
-    We sweep node counts and report pass-2 speedup vs one node.
     """
-    prep = prepare_workload(scale)
-    s = prep.scale
-    counts = [n for n in (1, 2, 4, 8) if n <= max(8, s.n_app_nodes)]
-    times = {}
-    for n in counts:
-        res = run_scenario(
-            Scenario(
-                scale=scale,
-                n_app_nodes=n,
-                total_lines=(s.total_lines // n) * n or n,
-            )
-        )
-        times[n] = res.pass_result(2).duration_s
+    s = SCALES[scale]
+    counts = _scaling_counts(scale)
+    times = {n: results[f"n={n}"].pass_result(2).duration_s for n in counts}
     base = times[counts[0]]
     rows = [
         (n, times[n], base / times[n], (base / times[n]) / n)
@@ -707,21 +767,379 @@ def exp_scaling(scale: str = "small") -> ExperimentReport:
     )
 
 
-#: Registry used by the CLI and the benchmark suite.
-ALL_EXPERIMENTS = {
-    "table2": exp_table2_pass_profile,
-    "table3": exp_table3_partition_skew,
-    "table4": exp_table4_pagefault_cost,
-    "fig3": exp_fig3_memory_nodes,
-    "fig4": exp_fig4_method_comparison,
-    "fig5": exp_fig5_migration,
-    "disk": exp_disk_access_analysis,
-    "monitor": exp_monitor_interval,
-    "policy": exp_ablation_policy,
-    "blocksize": exp_ablation_blocksize,
-    "eld": exp_ablation_eld,
-    "loss": exp_ablation_loss,
-    "scaling": exp_scaling,
-    "npa": exp_npa_comparison,
-    "hotpath": exp_hotpath,
+# ---------------------------------------------------------------------------
+# Hot path — host wall-clock of the counting kernels vs the naive loops
+# ---------------------------------------------------------------------------
+
+def _report_hotpath(scale: str, results: Results) -> ExperimentReport:
+    """Benchmark the vectorized counting kernels against the naive
+    per-occurrence loops and verify bit-identical simulated behaviour.
+
+    Unlike every other experiment here, this one measures *host*
+    wall-clock, not simulated time — the kernels are required to leave
+    every simulated quantity untouched, which the result hash checks.
+    """
+    from repro.harness.hotpath import render_hotpath, run_hotpath
+
+    data = run_hotpath(scale)
+    return ExperimentReport(
+        exp_id="HP",
+        title="Counting-kernel hot-path speedup (host wall-clock)",
+        text=render_hotpath(data),
+        data=data,
+        paper_shape="simulated results identical between kernels; host "
+        "wall-clock of pass-2 counting drops >=3x at the default scale.",
+    )
+
+
+def _empty_grid(scale: str) -> "dict[str, Scenario]":
+    """Grid of the analytic experiments (no simulated runs)."""
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# The registry: every paper artifact as a Sweep
+# ---------------------------------------------------------------------------
+
+#: The declarative experiment registry, in the paper's presentation
+#: order.  Values are callable (``ALL_SWEEPS["fig4"]("small")``).
+ALL_SWEEPS: "dict[str, Sweep]" = {
+    sweep.name: sweep
+    for sweep in (
+        Sweep(
+            name="table2",
+            exp_id="T2",
+            title="Table 2 — candidate and large itemsets at each pass",
+            grid=_empty_grid,
+            report=_report_table2,
+            doc="""\
+Paper (10 M txns, 5 000 items, minsup 0.7 %):
+
+| pass | C | L |
+|---|---|---|
+| 1 | — | 1023 |
+| 2 | 522 753 | 32 |
+| 3 | 19 | 19 |
+| 4 | 7 | 7 |
+| 5 | 1 | 0 |
+
+Measured (T10.I4.D1K, 250 items, minsup 2.5 %):
+
+| pass | C | L |
+|---|---|---|
+| 1 | — | 139 |
+| 2 | 9 591 | 126 |
+| 3 | 97 | 19 |
+| 4 | 7 | 5 |
+| 5 | 1 | 0 |
+
+**Shape held:** C₂ exceeds every later candidate count by ~100×, and the
+iteration terminates naturally at pass 5 — the pass-2 memory explosion
+that motivates the whole system.""",
+        ),
+        Sweep(
+            name="table3",
+            exp_id="T3",
+            title="Table 3 — candidate 2-itemsets per node",
+            grid=_empty_grid,
+            report=_report_table3,
+            doc="""\
+Paper (4 871 881 candidates over 8 nodes): 582 149 … 641 243 per node,
+mean 608 985 — near-equal with ~5 % skew.
+
+Measured (17 391 candidates over 4 nodes): 4 325 … 4 381, mean 4 348,
+max/mean 1.01, CV 0.5 %.
+
+**Shape held:** hash partitioning spreads candidates nearly but not
+exactly evenly. (Our skew is milder because an FNV-mixed hash over a
+smaller, less skewed pattern pool partitions more uniformly than the
+paper's hash did; the qualitative claim — "the numbers at each node are
+not equal" — reproduces.)""",
+        ),
+        Sweep(
+            name="table4",
+            exp_id="T4",
+            title="Table 4 — execution time of each pagefault",
+            grid=_grid_table4,
+            report=_report_table4,
+            doc="""\
+Paper (16 memory-available nodes, baseline 247.0 s):
+
+| limit | Exec [s] | Diff [s] | Max faults | PF [ms] |
+|---|---|---|---|---|
+| 12 MB | 7 183.1 | 6 936.1 | 2 925 243 | 2.37 |
+| 13 MB | 4 674.0 | 4 427.0 | 1 896 226 | 2.33 |
+| 14 MB | 2 489.7 | 2 242.7 | 1 003 757 | 2.22 |
+| 15 MB | 757.3 | 510.3 | 268 093 | 1.90 |
+
+Measured (8 memory-available nodes, baseline 0.48 s):
+
+| limit | Exec [s] | Diff [s] | Max faults | PF [ms] |
+|---|---|---|---|---|
+| 12 MB | 6.17 | 5.69 | 1 914 | 2.97 |
+| 13 MB | 4.20 | 3.72 | 1 201 | 3.10 |
+| 14 MB | 2.35 | 1.87 | 592 | 3.17 |
+| 15 MB | 0.85 | 0.37 | 107 | 3.49 |
+
+Analytic decomposition (0.5 ms RTT + 0.28 ms 4 KB transmit + 1.5 ms
+holder service) = **2.29 ms**, matching the paper's derivation.
+
+**Shape held:** per-fault time is a few milliseconds, roughly constant
+in the limit, and decomposes into the paper's three components. Our
+measured values run ~30 % above the analytic number because the derived
+Diff/Max quotient also absorbs queueing at holders and the app node's
+own NIC (4 app : 8 memory here vs. the paper's 8 : 16); the paper's
+monotone *decrease* toward looser limits does not reproduce at this
+scale because with only ~100 faults the per-run constant costs weigh in.""",
+        ),
+        Sweep(
+            name="fig3",
+            exp_id="F3",
+            title="Figure 3 — execution time vs. #memory-available nodes",
+            grid=_grid_fig3,
+            report=_report_fig3,
+            doc="""\
+Paper: curves for limits 12–15 MB fall steeply from 1 memory node
+(~25 000 s at 12 MB) and flatten by 8–16 nodes (7 183 s); the no-limit
+curve is flat at 247 s.
+
+Measured (pass-2 virtual seconds):
+
+| #mem | 12 MB | 13 MB | 14 MB | 15 MB | no limit |
+|---|---|---|---|---|---|
+| 1 | 16.00 | 10.40 | 5.37 | 1.31 | 0.48 |
+| 2 | 10.13 | 6.76 | 3.58 | 1.04 | 0.48 |
+| 4 | 7.37 | 4.97 | 2.75 | 0.91 | 0.48 |
+| 8 | 6.17 | 4.20 | 2.35 | 0.85 | 0.48 |
+
+**Shape held:** single-holder bottleneck ratio 16.0/6.17 = 2.6×
+(paper ≈ 3.5×), bottleneck resolved by ~8 nodes, curves ordered by
+limit at every point, flat no-limit floor.""",
+        ),
+        Sweep(
+            name="fig4",
+            exp_id="F4",
+            title="Figure 4 — comparison of proposed methods",
+            grid=_grid_fig4,
+            report=_report_fig4,
+            doc="""\
+Paper (16 memory nodes): disk swapping ≫ simple remote swapping ≫
+remote update at every limit; remote update nearly flat.
+
+Measured (8 memory nodes, pass-2 virtual seconds):
+
+| limit | disk | simple swapping | remote update |
+|---|---|---|---|
+| 12 MB | 57.83 | 6.17 | 1.58 |
+| 13 MB | 37.65 | 4.20 | 1.27 |
+| 14 MB | 19.78 | 2.35 | 1.01 |
+| 15 MB | 4.39 | 0.85 | 0.71 |
+
+**Shape held:** disk/simple ≈ 9.4× at 12 MB (driven by the 13.4 ms vs
+2.3 ms access-time gap plus disk-arm queueing of eviction writes behind
+fault reads), simple/update ≈ 3.9×, and remote update's tight-to-loose
+spread (2.2×) is a fraction of disk's (13.2×) — "considerably better
+than other methods", as the paper concludes.""",
+        ),
+        Sweep(
+            name="fig5",
+            exp_id="F5",
+            title="Figure 5 — dynamic memory migration",
+            grid=_grid_fig5,
+            report=_report_fig5,
+            followups=_followups_fig5,
+            doc="""\
+Paper: making 1 or 2 of 16 memory nodes unavailable mid-run (signal →
+shortage broadcast → directed migration) leaves execution time almost
+unchanged.
+
+Measured (remote update, 8 memory nodes, shortages injected at 40 % and
+60 % of pass 2):
+
+| limit | all available | 1 unavailable | 2 unavailable |
+|---|---|---|---|
+| 12 MB | 1.58 | 1.50 | 1.53 |
+| 13 MB | 1.27 | 1.28 | 1.29 |
+| 14 MB | 1.01 | 0.97 | 0.97 |
+| 15 MB | 0.71 | 0.68 | 0.64 |
+
+**Shape held:** the three curves nearly coincide (worst deviation < 4 %,
+sometimes in migration's favour as re-packed holders batch updates
+better); migration overhead is "almost negligible", and the mined
+itemsets are bit-identical in every case.""",
+        ),
+        Sweep(
+            name="disk",
+            exp_id="S52",
+            title="§5.2 — remote memory vs. disk access time",
+            grid=_empty_grid,
+            report=_report_disk,
+            doc="""\
+| device | access [ms] | paper |
+|---|---|---|
+| remote memory (ATM 155) | 2.29 | ~2.3 (derived) |
+| Seagate Barracuda 7 200 rpm | 13.36 | "at least 13.0" |
+| HITACHI DK3E1T 12 000 rpm | 7.76 | "7.5 even with the fastest" |
+
+**Exact match** — these are the paper's own constants fed through the
+same arithmetic.""",
+        ),
+        Sweep(
+            name="monitor",
+            exp_id="S54",
+            title="§5.4 — monitoring-interval sensitivity",
+            grid=_grid_monitor,
+            report=_report_monitor,
+            doc="""\
+Paper: results unchanged for ~1–3 s intervals; "too short interval such
+as shorter than 1 sec degrades the system performance".
+
+Measured (limit 13 MB, 8 memory nodes): 4.16–4.24 s across intervals
+0.02–10 s — flat in the 1–3 s regime as the paper reports. The
+degradation below 1 s does **not** emerge at this scale: with 4
+application nodes, broadcast cost is ≤3 % of a holder's CPU even at
+20 ms intervals, whereas the paper's 100-node cluster multiplied both
+the per-broadcast fan-out and the contention. Recorded as a scale
+limitation rather than a contradiction.""",
+        ),
+        Sweep(
+            name="policy",
+            exp_id="A1",
+            title="Ablation A1 — replacement policy",
+            grid=_grid_policy,
+            report=_report_policy,
+            doc="""\
+Paper: prescribes LRU (§4.3) without comparison.
+
+Measured at 12 MB: LRU 6.17 s / 1 914 faults, FIFO 6.81 s / 2 178,
+random 6.89 s / 2 202. LRU is best but only by ~10 % — consistent with
+hash-line accesses being near-uniform, which bounds what any policy can
+exploit. The paper's choice is validated but shown to be non-critical.""",
+        ),
+        Sweep(
+            name="blocksize",
+            exp_id="A2",
+            title="Ablation A2 — message block size",
+            grid=_grid_blocksize,
+            report=_report_blocksize,
+            doc="""\
+Paper: fixes 4 KB blocks (§5.1), one hash line per block.
+
+Measured at 12 MB: simple swapping 5.77 / 6.17 / 8.10 s for 1 / 4 /
+16 KB blocks (every fault ships a full block, so bigger blocks inflate
+PF time); remote update 1.47 / 1.58 / 1.92 s. The paper's 4 KB sits on
+the flat part of the curve — larger blocks measurably hurt, smaller
+ones buy little.""",
+        ),
+        Sweep(
+            name="eld",
+            exp_id="A3",
+            title="Ablation A3 — HPA-ELD frequent-candidate duplication",
+            grid=_grid_eld,
+            report=_report_eld,
+            doc="""\
+The paper cites its companion skew-handling method in §5.1 ("We have
+also developed a method to treat it"); ELD duplicates the most frequent
+candidates on every node so they are counted locally. Measured at the
+13 MB limit (remote update, 8 memory nodes):
+
+| ELD fraction | duplicated | count messages | pass 2 [s] |
+|---|---|---|---|
+| 0 | 0 | 218 | 1.27 |
+| 0.02 | 347 | 195 | 1.58 |
+| 0.1 | 1 739 | 144 | 2.72 |
+| 0.3 | 5 217 | 82 | 7.93 |
+
+Duplicating 10 % of candidates removes 34 % of itemset traffic — the
+frequent candidates carry a disproportionate share, as ELD predicts.
+But under a *memory limit* the duplicated candidates are pinned bytes
+that crowd hash lines out, so execution time **rises**: in exactly the
+memory-constrained regime this paper studies, ELD's communication win
+is bought with the resource that is already scarce. Mining results are
+identical at every fraction.""",
+        ),
+        Sweep(
+            name="loss",
+            exp_id="A4",
+            title="Ablation A4 — UBR segment loss / TCP retransmission",
+            grid=_grid_loss,
+            report=_report_loss,
+            doc="""\
+The cluster runs TCP over ATM's UBR class; the authors' companion study
+([21]) analysed retransmission behaviour on this hardware. Measured
+(simple swapping, 13 MB limit): pass 2 takes 4.20 s lossless, 4.92 s at
+0.1 % loss, 8.60 s at 1 % loss — the RTO (200 ms), not the re-sent
+bytes, is what loss costs, so degradation is superlinear in loss rate.""",
+        ),
+        Sweep(
+            name="scaling",
+            exp_id="SC",
+            title="Scaling — speedup with application nodes",
+            grid=_grid_scaling,
+            report=_report_scaling,
+            doc="""\
+Pass-2 speedup with application nodes (no limit): 1.80× at 2 nodes,
+3.01× at 4, 4.52× at 8 (efficiency 0.57 — communication and the
+determination barrier eat into it at this small workload), matching
+§3.3's "reasonably good performance improvement" at a modest scale.""",
+        ),
+        Sweep(
+            name="npa",
+            exp_id="B1",
+            title="Baseline B1 — NPA vs HPA",
+            grid=_grid_npa,
+            report=_report_npa,
+            doc="""\
+§2.2's motivation quantified. Pass-2 time (remote update, 8 memory
+nodes):
+
+| limit | HPA | NPA |
+|---|---|---|
+| 12 MB | 1.58 | 34.63 |
+| 13 MB | 1.27 | 33.97 |
+| 14 MB | 1.01 | 33.45 |
+| 15 MB | 0.71 | 32.86 |
+| no limit | 0.48 | 1.65 |
+
+NPA needs no itemset communication, but its per-node candidate table is
+n× HPA's; under any of the paper's limits it lives almost entirely in
+remote memory and runs ~25× slower. "HPA effectively utilizes the
+whole memory space of all the processors" — reproduced.""",
+        ),
+        Sweep(
+            name="hotpath",
+            exp_id="HP",
+            title="Hot path — counting-kernel wall-clock speedup",
+            grid=_empty_grid,
+            report=_report_hotpath,
+            doc="""\
+Host wall-clock of the vectorized counting kernels
+(`repro.mining.kernels`) against the naive per-occurrence loops, with
+bit-identical simulated behaviour enforced through the result hash —
+see `BENCH_hotpath.json` and DESIGN.md §9. Unlike every other
+experiment, the measured quantity is real seconds, so this sweep's
+report is intentionally excluded from byte-identity comparisons.""",
+        ),
+    )
 }
+
+#: Historical registry name (CLI, benchmarks, tests).
+ALL_EXPERIMENTS = ALL_SWEEPS
+
+# Historical per-experiment entry points: each name is the Sweep itself,
+# callable with a scale name exactly like the old functions.
+exp_table2_pass_profile = ALL_SWEEPS["table2"]
+exp_table3_partition_skew = ALL_SWEEPS["table3"]
+exp_table4_pagefault_cost = ALL_SWEEPS["table4"]
+exp_fig3_memory_nodes = ALL_SWEEPS["fig3"]
+exp_fig4_method_comparison = ALL_SWEEPS["fig4"]
+exp_fig5_migration = ALL_SWEEPS["fig5"]
+exp_disk_access_analysis = ALL_SWEEPS["disk"]
+exp_monitor_interval = ALL_SWEEPS["monitor"]
+exp_ablation_policy = ALL_SWEEPS["policy"]
+exp_ablation_blocksize = ALL_SWEEPS["blocksize"]
+exp_ablation_eld = ALL_SWEEPS["eld"]
+exp_ablation_loss = ALL_SWEEPS["loss"]
+exp_scaling = ALL_SWEEPS["scaling"]
+exp_npa_comparison = ALL_SWEEPS["npa"]
+exp_hotpath = ALL_SWEEPS["hotpath"]

@@ -1,0 +1,37 @@
+"""The declarative sweep engine behind every paper experiment.
+
+An experiment is no longer a hand-written loop of driver runs: it is a
+:class:`~repro.harness.sweep.spec.Sweep` — a named grid of
+:class:`~repro.runtime.scenarios.Scenario` variations plus a report
+builder — executed by :func:`~repro.harness.sweep.engine.run_sweep`.
+The engine resolves every grid cell through the shared cache tiers
+(in-memory :class:`~repro.runtime.scenarios.ScenarioCache`, then the
+persistent :class:`~repro.runtime.store.ResultStore`), farms the misses
+out to a :class:`~concurrent.futures.ProcessPoolExecutor` when
+``jobs > 1``, and assembles results in grid order so the report is
+byte-identical regardless of worker count or completion order.
+
+:mod:`~repro.harness.sweep.bench` measures the serial-vs-parallel
+wall-clock of the whole suite (the ``BENCH_sweep.json`` artifact);
+:mod:`~repro.harness.sweep.docs` regenerates ``EXPERIMENTS.md`` from
+the sweep definitions.
+"""
+
+from repro.harness.sweep.spec import ExperimentReport, Sweep
+from repro.harness.sweep.engine import (
+    RunRecord,
+    SweepOutcome,
+    run_sweep,
+    run_sweep_outcome,
+    shutdown_pools,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "Sweep",
+    "RunRecord",
+    "SweepOutcome",
+    "run_sweep",
+    "run_sweep_outcome",
+    "shutdown_pools",
+]

@@ -1,0 +1,158 @@
+"""Serial-vs-parallel benchmark of the sweep suite (``BENCH_sweep.json``).
+
+Runs the full declarative experiment registry twice — once with
+``jobs=1`` and once with ``jobs=N`` — from cold caches and disjoint
+result stores, verifies the parallel reports are byte-for-byte identical
+to the serial ones, and records per-experiment wall-clock and cache
+accounting.  ``python -m repro.harness.sweep.bench --jobs 4`` writes the
+``BENCH_sweep.json`` artifact the CI smoke job uploads.
+
+The ``hotpath`` sweep is excluded by default: it measures *host*
+wall-clock of the counting kernels (so its report can never be
+byte-identical between runs) and contains no scenario grid for the
+executor to parallelise.
+
+The payload records the host's CPU count alongside the speedup: the
+parallel phase can only run as fast as the cores it is given, so on a
+single-CPU container the artifact documents the byte-identity contract
+while the speedup hovers around (or below) 1x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.harness.sweep.engine import run_sweep_outcome, shutdown_pools
+from repro.harness.sweep.spec import Sweep
+from repro.runtime.scenarios import clear_cache
+from repro.runtime.store import ResultStore, result_store_session
+
+__all__ = ["run_sweep_bench", "write_sweep_json"]
+
+#: Sweeps whose reports measure host wall-clock and are therefore
+#: exempt from (and excluded from) the byte-identity comparison.
+IDENTITY_EXEMPT = ("hotpath",)
+
+
+def _suite(
+    sweeps: "Mapping[str, Sweep]",
+    scale: str,
+    jobs: int,
+    store: ResultStore,
+) -> dict:
+    """One cold phase: clear caches, run every sweep, account."""
+    clear_cache()
+    shutdown_pools()
+    outcomes = {}
+    start = time.perf_counter()
+    with result_store_session(store):
+        for name, sweep in sweeps.items():
+            outcomes[name] = run_sweep_outcome(sweep, scale, jobs=jobs)
+    wall_s = time.perf_counter() - start
+    shutdown_pools()
+    return {
+        "jobs": jobs,
+        "wall_s": wall_s,
+        "store": store.stats(),
+        "experiments": [o.timing_dict() for o in outcomes.values()],
+        "reports": {n: o.report.to_json() for n, o in outcomes.items()},
+    }
+
+
+def run_sweep_bench(
+    scale: str = "small",
+    jobs: int = 4,
+    sweeps: "Optional[Mapping[str, Sweep]]" = None,
+    store_root: "Optional[Path]" = None,
+) -> dict:
+    """Benchmark the suite serially vs with ``jobs`` workers.
+
+    Returns the ``BENCH_sweep.json`` payload; raises ``AssertionError``
+    if any parallel report differs from its serial counterpart.
+    """
+    if sweeps is None:
+        from repro.harness.experiments import ALL_SWEEPS
+
+        sweeps = {
+            name: sweep
+            for name, sweep in ALL_SWEEPS.items()
+            if name not in IDENTITY_EXEMPT
+        }
+    tmp = None
+    if store_root is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-bench-")
+        store_root = Path(tmp.name)
+    try:
+        serial = _suite(sweeps, scale, 1, ResultStore(store_root / "serial"))
+        parallel = _suite(sweeps, scale, jobs, ResultStore(store_root / "parallel"))
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    mismatches = [
+        name
+        for name in sweeps
+        if name not in IDENTITY_EXEMPT
+        and serial["reports"][name] != parallel["reports"][name]
+    ]
+    if mismatches:
+        raise AssertionError(
+            f"parallel reports differ from serial: {mismatches}"
+        )
+    for phase in (serial, parallel):
+        phase.pop("reports")
+    try:
+        effective_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux hosts
+        effective_cpus = os.cpu_count() or 1
+    return {
+        "bench": "sweep",
+        "scale": scale,
+        # Wall-clock speedup is bounded by the cores actually available;
+        # on a single-CPU host the parallel phase can only verify the
+        # byte-identity contract, not demonstrate a speedup.
+        "host": {"cpu_count": os.cpu_count(), "effective_cpus": effective_cpus},
+        "experiments": list(sweeps),
+        "identity_exempt": [n for n in IDENTITY_EXEMPT if n in sweeps],
+        "byte_identical": True,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": serial["wall_s"] / parallel["wall_s"],
+    }
+
+
+def write_sweep_json(path: "str | Path", payload: dict) -> Path:
+    """Write the benchmark payload where CI can pick it up."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def main(argv: "Optional[list[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.sweep.bench",
+        description="Benchmark the sweep suite serially vs in parallel.",
+    )
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    args = parser.parse_args(argv)
+    payload = run_sweep_bench(scale=args.scale, jobs=args.jobs)
+    out = write_sweep_json(args.out, payload)
+    print(
+        f"[sweep bench] {args.scale}: serial {payload['serial']['wall_s']:.1f}s, "
+        f"jobs={args.jobs} {payload['parallel']['wall_s']:.1f}s "
+        f"({payload['speedup']:.2f}x on {payload['host']['effective_cpus']} "
+        f"cpu), reports byte-identical -> {out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,252 @@
+"""The sweep executor: cache-tier resolution + process-pool fan-out.
+
+Executing a sweep means resolving every grid cell to a
+:class:`~repro.runtime.results.RunResult`:
+
+1. probe the shared cache tiers (:func:`~repro.runtime.scenarios.lookup_scenario`:
+   in-memory first, then the ambient persistent store);
+2. execute the misses — in-process when ``jobs == 1``, or deduplicated
+   by content address and farmed to a
+   :class:`~concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``;
+3. install worker results into both cache tiers
+   (:func:`~repro.runtime.scenarios.install_result`) so later sweeps in
+   the same invocation, and later invocations via ``--resume``, reuse
+   them.
+
+Workers ship results through the store's exact JSON codec
+(:mod:`repro.runtime.store`), and results are assembled in grid-key
+order, never completion order — so a parallel sweep's report is
+byte-for-byte identical to a serial one.
+
+Per-cell progress and wall-clock timing are published on the ambient
+telemetry bus (``sweep-start`` / ``sweep-run`` / ``sweep-done`` events),
+which the PR 1 metrics updater folds into ``sweep_runs`` counters and a
+``sweep_run_wall_s`` histogram.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import HarnessError
+from repro.harness.sweep.spec import ExperimentReport, Sweep
+from repro.obs import current_telemetry
+from repro.runtime.scenarios import (
+    Scenario,
+    install_result,
+    lookup_scenario,
+    run_scenario,
+)
+from repro.runtime.store import result_from_dict, result_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.results import RunResult
+
+__all__ = [
+    "RunRecord",
+    "SweepOutcome",
+    "run_sweep",
+    "run_sweep_outcome",
+    "shutdown_pools",
+]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """How one grid cell was resolved."""
+
+    key: str
+    #: ``cached`` (either tier), ``executed`` (in-process), or
+    #: ``worker`` (executed in a pool process).
+    source: str
+    #: Host wall-clock of the resolution (worker-side time for pool runs).
+    wall_s: float
+
+
+@dataclass
+class SweepOutcome:
+    """One sweep execution: the report plus its execution accounting."""
+
+    name: str
+    exp_id: str
+    scale: str
+    jobs: int
+    report: ExperimentReport
+    records: list[RunRecord]
+    wall_s: float
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.records if r.source == "cached")
+
+    @property
+    def n_executed(self) -> int:
+        return len(self.records) - self.n_cached
+
+    def timing_dict(self) -> dict:
+        """JSON-safe accounting entry (the ``BENCH_sweep.json`` rows)."""
+        return {
+            "experiment": self.name,
+            "exp_id": self.exp_id,
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "wall_s": self.wall_s,
+            "n_scenarios": len(self.records),
+            "n_cached": self.n_cached,
+            "n_executed": self.n_executed,
+            "runs": [
+                {"key": r.key, "source": r.source, "wall_s": r.wall_s}
+                for r in self.records
+            ],
+        }
+
+
+# Worker pools are shared across sweeps (keyed by worker count): a
+# suite run touches a dozen sweeps, and worker processes amortise their
+# per-process workload preparation across all of them.
+_POOLS: "dict[int, ProcessPoolExecutor]" = {}
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared worker pool (tests and benchmark phases
+    use this to force fresh worker processes)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown()
+
+
+def _execute_scenario_worker(scenario_dict: dict) -> dict:
+    """Pool-process entry point: run one scenario, bypassing the parent's
+    caches, and return the codec dict plus the worker's wall-clock."""
+    start = time.perf_counter()
+    result = Scenario.from_dict(scenario_dict).execute()
+    return {
+        "result": result_to_dict(result),
+        "wall_s": time.perf_counter() - start,
+    }
+
+
+def _emit(kind: str, sweep: Sweep, detail: str = "", **fields) -> None:
+    telemetry = current_telemetry()
+    if telemetry is not None:
+        telemetry.bus.emit(kind, -1, detail, sweep=sweep.name, **fields)
+
+
+def _resolve(
+    sweep: Sweep,
+    cells: "dict[str, Scenario]",
+    jobs: int,
+    records: "list[RunRecord]",
+) -> "dict[str, RunResult]":
+    """Resolve ``cells`` to results, in grid-key order."""
+    results: "dict[str, RunResult]" = {}
+
+    if jobs <= 1:
+        for key, scenario in cells.items():
+            start = time.perf_counter()
+            found = lookup_scenario(scenario)
+            if found is not None:
+                record = RunRecord(key, "cached", time.perf_counter() - start)
+            else:
+                found = run_scenario(scenario)
+                record = RunRecord(key, "executed", time.perf_counter() - start)
+            results[key] = found
+            records.append(record)
+            _emit("sweep-run", sweep, key, source=record.source,
+                  wall_s=record.wall_s)
+        return results
+
+    # Parallel path: probe the cache tiers up front, then submit each
+    # *unique* pending scenario (grids may alias cells — e.g. the same
+    # baseline under two labels) to the pool exactly once.
+    pending: "dict[str, Scenario]" = {}
+    cached: "dict[str, RunResult]" = {}
+    for key, scenario in cells.items():
+        found = lookup_scenario(scenario)
+        if found is not None:
+            cached[key] = found
+        else:
+            pending.setdefault(scenario.cache_key(), scenario)
+
+    resolved: "dict[str, RunResult]" = {}
+    timings: "dict[str, float]" = {}
+    if pending:
+        pool = _get_pool(jobs)
+        futures = {
+            ck: pool.submit(_execute_scenario_worker, scenario.to_dict())
+            for ck, scenario in pending.items()
+        }
+        for ck, future in futures.items():
+            payload = future.result()
+            result = result_from_dict(payload["result"])
+            resolved[ck] = result
+            timings[ck] = payload["wall_s"]
+            install_result(pending[ck], result)
+
+    for key, scenario in cells.items():
+        if key in cached:
+            record = RunRecord(key, "cached", 0.0)
+            results[key] = cached[key]
+        else:
+            ck = scenario.cache_key()
+            record = RunRecord(key, "worker", timings[ck])
+            results[key] = resolved[ck]
+        records.append(record)
+        _emit("sweep-run", sweep, key, source=record.source,
+              wall_s=record.wall_s)
+    return results
+
+
+def run_sweep_outcome(
+    sweep: Sweep, scale: str = "small", *, jobs: int = 1
+) -> SweepOutcome:
+    """Execute ``sweep`` at ``scale`` with ``jobs`` worker processes.
+
+    ``jobs <= 1`` runs everything in-process.  Persistence comes from
+    the ambient result store when a
+    :func:`~repro.runtime.store.result_store_session` is active.
+    """
+    start = time.perf_counter()
+    cells = sweep.scenarios(scale)
+    _emit("sweep-start", sweep, scale, n_cells=len(cells), jobs=jobs)
+    records: "list[RunRecord]" = []
+    results = _resolve(sweep, cells, jobs, records)
+    if sweep.followups is not None:
+        extra = sweep.followups(scale, results)
+        collisions = set(extra) & set(results)
+        if collisions:
+            raise HarnessError(
+                f"sweep {sweep.name!r}: follow-up keys collide with the "
+                f"grid: {sorted(collisions)}"
+            )
+        results.update(_resolve(sweep, extra, jobs, records))
+    report = sweep.report(scale, results)
+    wall_s = time.perf_counter() - start
+    _emit("sweep-done", sweep, scale, n_cells=len(records), wall_s=wall_s)
+    return SweepOutcome(
+        name=sweep.name,
+        exp_id=sweep.exp_id,
+        scale=scale,
+        jobs=jobs,
+        report=report,
+        records=records,
+        wall_s=wall_s,
+    )
+
+
+def run_sweep(
+    sweep: Sweep, scale: str = "small", *, jobs: int = 1
+) -> ExperimentReport:
+    """:func:`run_sweep_outcome`, keeping only the report."""
+    return run_sweep_outcome(sweep, scale, jobs=jobs).report

@@ -1,0 +1,116 @@
+"""Sweep specifications: a declarative grid + a report builder.
+
+A :class:`Sweep` replaces one hand-written ``exp_*`` loop.  Its ``grid``
+maps a scale name to an ordered ``{key: Scenario}`` dict — pure data,
+no execution — and its ``report`` folds the resolved ``{key: RunResult}``
+mapping into an :class:`ExperimentReport`.  Experiments whose later
+configurations depend on earlier results (Figure 5 schedules shortages
+*inside* the measured pass of a base run) declare a ``followups`` stage,
+which the engine resolves after the grid with the same executor.
+
+Because the grid is data, the engine — not the experiment — decides
+execution order, parallelism, caching, and persistence; and because
+results are keyed, the report is a pure function of the grid, which is
+what makes parallel and resumed runs byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
+
+from repro.errors import HarnessError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.results import RunResult
+    from repro.runtime.scenarios import Scenario
+
+__all__ = ["ExperimentReport", "Sweep"]
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered paper artifact plus its underlying data."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    paper_shape: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        header = f"== {self.exp_id}: {self.title} =="
+        parts = [header, self.text]
+        if self.paper_shape:
+            parts.append(f"[paper shape] {self.paper_shape}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Machine-readable dump (keys stringified for JSON)."""
+
+        def keyfix(obj):
+            if isinstance(obj, dict):
+                return {str(k): keyfix(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [keyfix(v) for v in obj]
+            return obj
+
+        return json.dumps(
+            {
+                "exp_id": self.exp_id,
+                "title": self.title,
+                "paper_shape": self.paper_shape,
+                "data": keyfix(self.data),
+            },
+            indent=2,
+        )
+
+
+#: Stage 1: scale name -> ordered {key: Scenario}.
+GridFn = Callable[[str], "dict[str, Scenario]"]
+#: Stage 2 (optional): (scale, stage-1 results) -> more scenarios.
+FollowupFn = Callable[[str, "Mapping[str, RunResult]"], "dict[str, Scenario]"]
+#: Aggregation: (scale, all results) -> the rendered report.
+ReportFn = Callable[[str, "Mapping[str, RunResult]"], ExperimentReport]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One declarative experiment: grid, optional follow-ups, report.
+
+    Analytic experiments (Table 2/3, the §5.2 disk arithmetic, the
+    hot-path wall-clock bench) have an empty grid and do all their work
+    in ``report`` — they still gain the uniform registry, CLI, timing,
+    and documentation surfaces.
+
+    A :class:`Sweep` is callable with a scale name, returning its
+    report, so the registry entries behave exactly like the historical
+    ``exp_*(scale)`` functions.
+    """
+
+    #: CLI/registry name (``repro-bench <name>``).
+    name: str
+    #: Paper artifact id (``T2``, ``F4``, ``A1``, ...).
+    exp_id: str
+    title: str
+    grid: GridFn
+    report: ReportFn
+    followups: Optional[FollowupFn] = None
+    #: Markdown body for the generated EXPERIMENTS.md section.
+    doc: str = ""
+
+    def scenarios(self, scale: str) -> "dict[str, Scenario]":
+        """The stage-1 grid, validated (keys unique and non-empty)."""
+        cells = self.grid(scale)
+        for key in cells:
+            if not key:
+                raise HarnessError(f"sweep {self.name!r}: empty grid key")
+        return cells
+
+    def __call__(self, scale: str = "small") -> ExperimentReport:
+        """Run this sweep serially at ``scale`` (the historical
+        ``exp_*`` calling convention)."""
+        from repro.harness.sweep.engine import run_sweep
+
+        return run_sweep(self, scale)

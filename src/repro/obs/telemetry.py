@@ -116,6 +116,17 @@ class _MetricsUpdater:
                     "span_s", buckets=(0.01, 0.1, 1.0, 10.0, 100.0, 1000.0),
                     span=event.detail,
                 ).observe(f["duration_s"])
+        elif kind == "sweep-run":
+            r.counter(
+                "sweep_runs",
+                sweep=f.get("sweep", "?"), source=f.get("source", "?"),
+            ).inc()
+            if "wall_s" in f:
+                r.histogram(
+                    "sweep_run_wall_s",
+                    buckets=(0.01, 0.1, 1.0, 10.0, 100.0, 1000.0),
+                    sweep=f.get("sweep", "?"),
+                ).observe(f["wall_s"])
 
 
 class Telemetry:

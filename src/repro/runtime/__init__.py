@@ -17,7 +17,12 @@ drivers (:mod:`repro.mining.hpa`, :mod:`repro.mining.npa`):
   types;
 - :class:`~repro.runtime.scenarios.Scenario` and
   :func:`~repro.runtime.scenarios.run_scenario` — named, serialisable
-  run descriptions with an explicit, bounded, clearable result cache.
+  run descriptions with an explicit, bounded, clearable result cache;
+- :class:`~repro.runtime.store.ResultStore` — the persistent,
+  content-addressed second cache tier beneath the in-memory
+  :class:`~repro.runtime.scenarios.ScenarioCache`, activated with
+  :func:`~repro.runtime.store.result_store_session` (what makes sweeps
+  resumable across processes and invocations).
 """
 
 from repro.runtime.config import (
@@ -38,10 +43,19 @@ from repro.runtime.scenarios import (
     cache_stats,
     clear_cache,
     get_scenario,
+    install_result,
     list_scenarios,
+    lookup_scenario,
     paper_limited,
     register_scenario,
     run_scenario,
+)
+from repro.runtime.store import (
+    ResultStore,
+    current_result_store,
+    result_from_dict,
+    result_store_session,
+    result_to_dict,
 )
 
 __all__ = [
@@ -60,6 +74,8 @@ __all__ = [
     "Scenario",
     "ScenarioCache",
     "run_scenario",
+    "lookup_scenario",
+    "install_result",
     "clear_cache",
     "cache_stats",
     "register_scenario",
@@ -67,4 +83,9 @@ __all__ = [
     "list_scenarios",
     "paper_limited",
     "SCENARIOS",
+    "ResultStore",
+    "current_result_store",
+    "result_store_session",
+    "result_to_dict",
+    "result_from_dict",
 ]

@@ -36,6 +36,8 @@ __all__ = [
     "Scenario",
     "ScenarioCache",
     "run_scenario",
+    "lookup_scenario",
+    "install_result",
     "clear_cache",
     "cache_stats",
     "register_scenario",
@@ -197,10 +199,28 @@ class ScenarioCache:
         self.misses += 1
         self._count("scenario_cache_misses")
         result = execute()
+        self._store(key, result)
+        return result
+
+    def peek(self, scenario: Scenario) -> "Optional[RunResult]":
+        """The cached result or ``None``; counts a hit when found but
+        never a miss (probing is not a decision to execute)."""
+        found = self._entries.get(scenario.cache_key())
+        if found is not None:
+            self.hits += 1
+            self._count("scenario_cache_hits")
+            self._entries.move_to_end(scenario.cache_key())
+        return found
+
+    def put(self, scenario: Scenario, result: "RunResult") -> None:
+        """Insert an externally-computed result (no hit/miss counted)."""
+        self._store(scenario.cache_key(), result)
+
+    def _store(self, key: str, result: "RunResult") -> None:
         self._entries[key] = result
+        self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
-        return result
 
     def clear(self) -> None:
         """Drop every cached result (hit/miss counters are kept)."""
@@ -219,11 +239,68 @@ class ScenarioCache:
 _CACHE = ScenarioCache(maxsize=256)
 
 
+def _through_store(scenario: Scenario) -> "RunResult":
+    """Second cache tier: the ambient persistent result store.
+
+    On a memory-cache miss, consult the on-disk store set up by
+    :func:`repro.runtime.store.result_store_session`; only execute the
+    simulation when both tiers miss, then populate the store so the run
+    is durable (the ``--resume`` contract).
+    """
+    from repro.runtime.store import current_result_store
+
+    store = current_result_store()
+    if store is None:
+        return scenario.execute()
+    found = store.get(scenario)
+    if found is not None:
+        return found
+    result = scenario.execute()
+    store.put(scenario, result)
+    return result
+
+
 def run_scenario(scenario: Scenario, cache: bool = True) -> "RunResult":
-    """Execute ``scenario`` (or return its cached result)."""
+    """Execute ``scenario`` through the cache tiers.
+
+    This is the *single* execution path shared by the experiments, the
+    sweep engine, the benchmarks, and the examples: in-memory
+    :class:`ScenarioCache` first, then the ambient persistent
+    :class:`~repro.runtime.store.ResultStore` (when a session is
+    active), then the actual simulation.  ``cache=False`` bypasses both
+    tiers.
+    """
     if not cache:
         return scenario.execute()
-    return _CACHE.get_or_run(scenario, scenario.execute)
+    return _CACHE.get_or_run(scenario, lambda: _through_store(scenario))
+
+
+def lookup_scenario(scenario: Scenario) -> "Optional[RunResult]":
+    """Probe both cache tiers without executing (the sweep engine uses
+    this to decide what to submit to worker processes)."""
+    from repro.runtime.store import current_result_store
+
+    found = _CACHE.peek(scenario)
+    if found is not None:
+        return found
+    store = current_result_store()
+    if store is None:
+        return None
+    result = store.get(scenario)
+    if result is not None:
+        _CACHE.put(scenario, result)
+    return result
+
+
+def install_result(scenario: Scenario, result: "RunResult") -> None:
+    """Populate both cache tiers with an externally-computed result
+    (how parallel sweep workers' results enter the parent's caches)."""
+    from repro.runtime.store import current_result_store
+
+    _CACHE.put(scenario, result)
+    store = current_result_store()
+    if store is not None and scenario not in store:
+        store.put(scenario, result)
 
 
 def clear_cache() -> None:

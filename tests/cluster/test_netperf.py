@@ -42,3 +42,52 @@ def test_disk_ordering_matches_specs():
 def test_disk_access_matches_spec_formula():
     t = measure_disk_access_s(BARRACUDA_7200, io_bytes=4096)
     assert t == pytest.approx(BARRACUDA_7200.access_time_s(4096))
+
+
+# -- the probes vs. the paper's §5.2 figures --------------------------------
+#
+# Same references and tolerances as repro.analysis.calibration, asserted
+# here directly so a probe regression fails the suite even if the
+# calibration report is never rendered.
+
+
+def test_rtt_matches_paper():
+    # §5.2: "approximately 0.5 msec"
+    assert measure_rtt_s() == pytest.approx(0.5e-3, rel=0.15)
+
+
+def test_throughput_matches_paper():
+    # §5.2: "about 120 Mbps" effective TCP throughput on ATM 155
+    assert measure_throughput_bps() == pytest.approx(120e6, rel=0.10)
+
+
+def test_fan_in_matches_ingress_serialisation():
+    # 8 senders into 1 receiver serialise at the ingress NIC (Figure 3's
+    # bottleneck mechanism): the aggregate takes ~8x a single pair.
+    assert measure_fan_in_factor(n_senders=8) == pytest.approx(8.0, rel=0.05)
+
+
+def test_barracuda_access_matches_paper():
+    # §5.2: "at least 13.0 msec" for the 7200rpm disk
+    t = measure_disk_access_s(BARRACUDA_7200)
+    assert t == pytest.approx(13.0e-3, rel=0.08)
+    assert t >= 13.0e-3  # "at least"
+
+
+def test_dk3e1t_access_matches_paper():
+    # §5.2: "7.5 msec even with the fastest" 12000rpm disk
+    t = measure_disk_access_s(DK3E1T_12000)
+    assert t == pytest.approx(7.5e-3, rel=0.08)
+    assert t >= 7.5e-3
+
+
+def test_remote_memory_beats_both_disks():
+    # The paper's punchline: a ~2.3 ms remote fault vs >=7.5 ms disk.
+    from repro.analysis import predicted_fault_time_s
+    from repro.analysis.cost_model import PAPER_COSTS
+    from repro.cluster.specs import ATM_155
+
+    fault = predicted_fault_time_s(PAPER_COSTS, ATM_155)
+    assert fault == pytest.approx(2.33e-3, rel=0.10)
+    assert measure_disk_access_s(DK3E1T_12000) / fault > 3
+    assert measure_disk_access_s(BARRACUDA_7200) / fault > 5

@@ -161,3 +161,95 @@ def test_cluster_needs_nodes():
     env = Environment()
     with pytest.raises(ValueError):
         Cluster(env, 0)
+
+
+# -- mailbox capacity and statistics ----------------------------------------
+
+
+def test_mailbox_stats_track_delivery_and_depth():
+    env = Environment()
+    cluster = Cluster(env, 2)
+
+    def producer(env):
+        for i in range(5):
+            yield from cluster.transport.send(0, 1, "st", i, 64)
+
+    env.process(producer(env))
+    env.run()
+    stats = cluster.transport.mailbox(1, "st").stats()
+    assert stats["delivered"] == 5
+    assert stats["depth"] == 5       # nothing consumed yet
+    assert stats["peak_depth"] == 5
+    assert stats["blocked_puts"] == 0
+    assert stats["occupancy"] > 0.0
+
+    def consumer(env):
+        for _ in range(5):
+            yield cluster.transport.recv(1, "st")
+
+    env.process(consumer(env))
+    env.run()
+    assert cluster.transport.pending(1, "st") == 0
+    assert cluster.transport.mailbox(1, "st").stats()["peak_depth"] == 5
+
+
+def test_mailbox_capacity_applies_backpressure():
+    env = Environment()
+    cluster = Cluster(env, 2, mailbox_capacity=2)
+    done_times = []
+
+    def producer(env):
+        for i in range(4):
+            yield from cluster.transport.send(0, 1, "bp", i, 64)
+        done_times.append(env.now)
+
+    def slow_consumer(env):
+        while len(done_times) == 0 or cluster.transport.pending(1, "bp"):
+            yield env.timeout(0.1)
+            yield cluster.transport.recv(1, "bp")
+
+    env.process(producer(env))
+    env.process(slow_consumer(env))
+    env.run()
+    mbox = cluster.transport.mailbox(1, "bp")
+    stats = mbox.stats()
+    assert stats["delivered"] == 4
+    assert stats["peak_depth"] <= 2   # the bound held
+    assert stats["blocked_puts"] >= 1  # someone actually waited
+    # Back-pressure pushed the producer's completion behind the consumer
+    # draining at 0.1 s per message.
+    assert done_times[0] > 0.1
+
+
+def test_mailbox_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(NetworkError):
+        Cluster(env, 2, mailbox_capacity=0)
+
+
+def test_unbounded_transport_never_blocks_puts():
+    env = Environment()
+    cluster = Cluster(env, 2)
+
+    def producer(env):
+        for i in range(10):
+            yield from cluster.transport.send(0, 1, "ub", i, 64)
+
+    env.process(producer(env))
+    env.run()
+    assert cluster.transport.mailbox(1, "ub").stats()["blocked_puts"] == 0
+
+
+def test_transport_stats_keyed_by_node_and_channel():
+    env = Environment()
+    cluster = Cluster(env, 3)
+
+    def producer(env):
+        yield from cluster.transport.send(0, 1, "a", None, 64)
+        yield from cluster.transport.send(0, 2, "b", None, 64)
+
+    env.process(producer(env))
+    env.run()
+    stats = cluster.transport.stats()
+    assert set(stats) == {"1:a", "2:b"}
+    assert all(s["delivered"] == 1 for s in stats.values())

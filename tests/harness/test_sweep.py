@@ -1,0 +1,191 @@
+"""Tests for the declarative sweep engine (spec, executor, resume)."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness.experiments import ALL_SWEEPS
+from repro.harness.sweep import (
+    ExperimentReport,
+    Sweep,
+    run_sweep_outcome,
+    shutdown_pools,
+)
+from repro.obs import Telemetry, telemetry_session
+from repro.runtime import Scenario, clear_cache, result_store_session
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_cache()
+    yield
+    clear_cache()
+    shutdown_pools()
+
+
+def _toy_sweep(**overrides):
+    fields = dict(
+        name="toy",
+        exp_id="X1",
+        title="toy sweep",
+        grid=lambda scale: {
+            "a": Scenario(scale=scale, pager="remote", n_memory_nodes=2,
+                          paper_mb=13.0),
+            "b": Scenario(scale=scale, pager="remote", n_memory_nodes=2,
+                          paper_mb=15.0),
+            # Aliased cell: same semantics as "a" under another label.
+            "a-again": Scenario(scale=scale, pager="remote", n_memory_nodes=2,
+                                paper_mb=13.0),
+        },
+        report=lambda scale, results: ExperimentReport(
+            exp_id="X1",
+            title="toy",
+            text="toy",
+            data={k: r.pass_result(2).duration_s for k, r in results.items()},
+        ),
+    )
+    fields.update(overrides)
+    return Sweep(**fields)
+
+
+def test_every_experiment_is_a_sweep():
+    assert len(ALL_SWEEPS) == 15
+    for name, sweep in ALL_SWEEPS.items():
+        assert isinstance(sweep, Sweep)
+        assert sweep.name == name
+        assert callable(sweep.grid) and callable(sweep.report)
+        assert sweep.doc.strip()  # EXPERIMENTS.md section body
+
+
+def test_sweep_is_callable_like_the_old_exp_functions():
+    report = ALL_SWEEPS["disk"]("tiny")
+    assert isinstance(report, ExperimentReport)
+    assert report.exp_id == "S52"
+
+
+def test_serial_outcome_accounting():
+    sweep = _toy_sweep()
+    first = run_sweep_outcome(sweep, "tiny")
+    assert first.n_executed == 2       # "a-again" aliases "a" in the cache
+    assert first.n_cached == 1
+    second = run_sweep_outcome(sweep, "tiny")
+    assert second.n_cached == 3
+    assert second.report.to_json() == first.report.to_json()
+
+
+def test_parallel_report_byte_identical_to_serial():
+    sweep = _toy_sweep()
+    serial = run_sweep_outcome(sweep, "tiny", jobs=1)
+    clear_cache()
+    parallel = run_sweep_outcome(sweep, "tiny", jobs=2)
+    assert parallel.report.to_json() == serial.report.to_json()
+    assert str(parallel.report) == str(serial.report)
+    # Nothing was cached up front, so every cell resolved via a worker —
+    # but the aliased cell was deduplicated before submission and shares
+    # its execution (and therefore its worker wall-clock) with "a".
+    assert all(r.source == "worker" for r in parallel.records)
+    by_key = {r.key: r.wall_s for r in parallel.records}
+    assert by_key["a"] == by_key["a-again"]
+    # Records keep grid order, not completion order.
+    assert [r.key for r in parallel.records] == ["a", "b", "a-again"]
+
+
+def test_followups_see_stage_one_results():
+    seen = {}
+
+    def followups(scale, results):
+        seen.update(results)
+        return {
+            "f": Scenario(scale=scale, pager="remote", n_memory_nodes=2,
+                          paper_mb=14.0)
+        }
+
+    sweep = _toy_sweep(followups=followups)
+    outcome = run_sweep_outcome(sweep, "tiny")
+    assert set(seen) == {"a", "b", "a-again"}
+    assert [r.key for r in outcome.records][-1] == "f"
+    assert set(outcome.report.data) == {"a", "b", "a-again", "f"}
+
+
+def test_followup_key_collision_rejected():
+    sweep = _toy_sweep(
+        followups=lambda scale, results: {
+            "a": Scenario(scale=scale, paper_mb=12.0, pager="remote",
+                          n_memory_nodes=2)
+        }
+    )
+    with pytest.raises(HarnessError, match="collide"):
+        run_sweep_outcome(sweep, "tiny")
+
+
+def test_empty_grid_key_rejected():
+    sweep = _toy_sweep(grid=lambda scale: {"": Scenario(scale=scale)})
+    with pytest.raises(HarnessError, match="empty grid key"):
+        run_sweep_outcome(sweep, "tiny")
+
+
+def test_resume_runs_only_missing_scenarios(tmp_path):
+    """A killed sweep, resumed against the same store, re-runs only the
+    scenarios whose results were never persisted."""
+    sweep = _toy_sweep()
+    partial = Scenario(scale="tiny", pager="remote", n_memory_nodes=2,
+                       paper_mb=13.0)
+    with result_store_session(tmp_path) as store:
+        # "First invocation" persisted only one scenario before dying.
+        store.put(partial, partial.execute())
+        assert store.stats()["writes"] == 1
+
+    clear_cache()  # fresh process: cold memory tier
+    with result_store_session(tmp_path) as store:
+        outcome = run_sweep_outcome(sweep, "tiny")
+        stats = store.stats()
+        # Only the missing scenario hit the simulator...
+        assert outcome.n_executed == 1
+        assert stats["writes"] == 1
+        # ...and the persisted one was served from the store.
+        assert stats["hits"] == 1
+        by_key = {r.key: r.source for r in outcome.records}
+        assert by_key["a"] == "cached"
+        assert by_key["b"] == "executed"
+
+
+def test_parallel_resume_submits_only_missing(tmp_path):
+    sweep = _toy_sweep()
+    partial = Scenario(scale="tiny", pager="remote", n_memory_nodes=2,
+                       paper_mb=13.0)
+    with result_store_session(tmp_path) as store:
+        store.put(partial, partial.execute())
+    clear_cache()
+    with result_store_session(tmp_path) as store:
+        outcome = run_sweep_outcome(sweep, "tiny", jobs=2)
+        assert sum(1 for r in outcome.records if r.source == "worker") == 1
+        assert store.stats()["hits"] == 1
+        assert store.stats()["writes"] == 1  # the worker's result persisted
+    clear_cache()
+    # And the parallel-resumed report matches a cold serial run.
+    cold = run_sweep_outcome(sweep, "tiny")
+    assert cold.report.to_json() == outcome.report.to_json()
+
+
+def test_sweep_events_reach_telemetry():
+    telemetry = Telemetry()
+    with telemetry_session(telemetry):
+        run_sweep_outcome(_toy_sweep(), "tiny")
+    kinds = telemetry.counts_by_kind()
+    assert kinds["sweep-start"] == 1
+    assert kinds["sweep-run"] == 3
+    assert kinds["sweep-done"] == 1
+    runs = telemetry.registry.collect("sweep_runs")
+    assert sum(m.value for _, _, m in runs) == 3
+    assert {labels["source"] for _, labels, _ in runs} <= {"cached", "executed"}
+    hist = telemetry.registry.merged_histogram("sweep_run_wall_s")
+    assert hist is not None and hist.count == 3
+
+
+def test_timing_dict_is_json_safe():
+    import json
+
+    outcome = run_sweep_outcome(_toy_sweep(), "tiny")
+    payload = json.loads(json.dumps(outcome.timing_dict()))
+    assert payload["experiment"] == "toy"
+    assert payload["n_scenarios"] == 3
+    assert payload["n_cached"] + payload["n_executed"] == 3

@@ -1,0 +1,108 @@
+"""Tests for the persistent content-addressed result store."""
+
+import json
+
+from repro.runtime import (
+    ResultStore,
+    Scenario,
+    clear_cache,
+    current_result_store,
+    result_from_dict,
+    result_store_session,
+    result_to_dict,
+    run_scenario,
+)
+from repro.runtime.store import STORE_FORMAT
+
+TINY = Scenario(scale="tiny", pager="remote", n_memory_nodes=2, paper_mb=13.0)
+
+
+def test_codec_round_trip_is_exact():
+    res = TINY.execute()
+    back = result_from_dict(json.loads(json.dumps(result_to_dict(res))))
+    # Exact equality, floats included — this is what makes parallel and
+    # resumed sweeps byte-identical to serial ones.
+    assert back == res
+    assert back.pass_result(2).duration_s == res.pass_result(2).duration_s
+    assert type(back.config) is type(res.config)
+
+
+def test_store_put_get_and_content_addressing(tmp_path):
+    store = ResultStore(tmp_path)
+    assert TINY not in store
+    res = TINY.execute()
+    store.put(TINY, res)
+    assert TINY in store
+    assert len(store) == 1
+    assert store.get(TINY) == res
+    # The address depends only on the semantic fields, not the name.
+    named = Scenario(
+        name="x", description="y", scale="tiny", pager="remote",
+        n_memory_nodes=2, paper_mb=13.0,
+    )
+    assert store.key_for(named) == store.key_for(TINY)
+    assert store.get(named) == res
+
+
+def test_store_counts_hits_misses_writes(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get(TINY) is None
+    res = TINY.execute()
+    store.put(TINY, res)
+    assert store.get(TINY) is not None
+    stats = store.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["writes"] == 1
+    assert stats["entries"] == 1
+
+
+def test_corrupt_and_mismatched_entries_are_misses(tmp_path):
+    store = ResultStore(tmp_path)
+    res = TINY.execute()
+    store.put(TINY, res)
+    path = store.path_for(TINY)
+    path.write_text("{not json")
+    assert store.get(TINY) is None
+    payload = {
+        "format": STORE_FORMAT + 1,
+        "scenario": TINY.to_dict(),
+        "result": result_to_dict(res),
+    }
+    path.write_text(json.dumps(payload))
+    assert store.get(TINY) is None
+
+
+def test_store_clear(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(TINY, TINY.execute())
+    assert len(store) == 1
+    store.clear()
+    assert len(store) == 0
+
+
+def test_result_store_session_scoping(tmp_path):
+    assert current_result_store() is None
+    with result_store_session(tmp_path) as store:
+        assert current_result_store() is store
+        with result_store_session(None):
+            # None inherits the ambient store rather than clearing it.
+            assert current_result_store() is store
+    assert current_result_store() is None
+
+
+def test_run_scenario_populates_and_reuses_the_store(tmp_path):
+    clear_cache()
+    with result_store_session(tmp_path) as store:
+        first = run_scenario(TINY)
+        assert store.stats()["writes"] == 1
+    # New process simulation: cold memory cache, same store directory.
+    clear_cache()
+    with result_store_session(tmp_path) as store2:
+        again = run_scenario(TINY)
+        assert again == first
+        stats = store2.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["writes"] == 0  # nothing re-executed, nothing rewritten
+    clear_cache()
