@@ -1,0 +1,80 @@
+"""RPL501 — no float equality in the report/store codec layers.
+
+The byte-identity guarantee (serial vs parallel vs resumed sweeps) rests
+on floats round-tripping through ``repr`` exactly — the store codec never
+reformats them, and reports compare/encode the repr'd values.  A literal
+``==``/``!=`` against a float constant in those layers is either a bug
+(two independently computed floats are almost never bit-equal) or an
+implicit re-derivation of the codec contract that breaks the moment an
+upstream computation is legitimately reassociated.  Use ``math.isclose``
+with an explicit tolerance for numeric checks, or compare the ``repr``
+strings when the question really is "is this the same encoded value".
+
+Scope: the modules that build or persist reports — ``repro.runtime``,
+``repro.harness.sweep``, ``repro.analysis.reporting``, and
+``repro.obs.export``.  Elsewhere float comparison may be legitimate
+(e.g. exact sentinel checks in kernels) and is left to review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.framework import Checker, Finding, LintContext
+
+__all__ = ["FloatEqualityChecker"]
+
+#: Module prefixes forming the report/store codec layer.
+_SCOPE = (
+    "repro.runtime",
+    "repro.harness.sweep",
+    "repro.analysis.reporting",
+    "repro.obs.export",
+)
+
+
+def _float_evident(node: ast.expr) -> bool:
+    """Syntactic evidence that ``node`` is a float expression."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _float_evident(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        return _float_evident(node.left) or _float_evident(node.right)
+    return False
+
+
+class FloatEqualityChecker(Checker):
+    """Flag ``==``/``!=`` against float-evident operands in codec code."""
+
+    code = "RPL501"
+    name = "float-equality-in-codec"
+    hint = (
+        "floats in the report/store layer must round-trip through the "
+        "exact repr codec; compare with math.isclose(..., abs_tol=...) "
+        "or compare repr() strings"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.module_startswith(*_SCOPE)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _float_evident(left) or _float_evident(right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "float equality comparison in report/store code "
+                        "(exact bit-equality is a codec property, not a "
+                        "numeric one)",
+                    )
+                    break

@@ -1,0 +1,133 @@
+"""RPL401 — configuration objects are immutable contracts.
+
+``RunConfig``/``HPAConfig``/``NPAConfig``, ``Scenario``, and the sweep
+specs are frozen dataclasses whose canonical JSON *is* the cache address
+(``Scenario.cache_key`` -> ``ResultStore.key_for``).  Mutating one after
+construction desynchronises the object from the key it was stored under —
+a cached result then silently describes a different run.  The sanctioned
+idioms are construction, ``dataclasses.replace(...)``, and the builder
+helpers; ``object.__setattr__`` is tolerated only inside the owning
+class's ``__init__``/``__post_init__`` (how frozen dataclasses normalise
+fields).
+
+Detection is name-based (no type inference): an attribute assignment whose
+base is a config-shaped expression — a name like ``config``/``cfg``/
+``scenario``/``spec`` or an attribute path ending in ``.config``/
+``.scenario``/``.spec`` — is flagged unless it happens in an allowed
+context (``__init__``, ``__post_init__``, ``__new__``, or a function whose
+name marks it a builder: ``build*``, ``_build*``, ``with_*``, ``make*``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.framework import Checker, Finding, LintContext
+
+__all__ = ["FrozenConfigChecker"]
+
+#: Bare names treated as config-shaped.
+_CONFIG_NAMES = frozenset({
+    "config", "cfg", "scenario", "spec", "run_config", "sweep",
+})
+
+#: Attribute tails treated as config-shaped (``self.config``, ``run.spec``).
+_CONFIG_ATTRS = frozenset({"config", "scenario", "spec"})
+
+#: Enclosing function names where field assignment is construction.
+_ALLOWED_FUNCS = ("__init__", "__post_init__", "__new__")
+_ALLOWED_PREFIXES = ("build", "_build", "with_", "make", "_make")
+
+
+def _config_shaped(node: ast.expr) -> Optional[str]:
+    """A dotted rendering of ``node`` when it names a config, else None."""
+    if isinstance(node, ast.Name) and node.id.lower() in _CONFIG_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _CONFIG_ATTRS:
+        base = _config_shaped(node.value)
+        if base is None and isinstance(node.value, ast.Name):
+            base = node.value.id
+        if base is not None:
+            return f"{base}.{node.attr}"
+        return node.attr
+    return None
+
+
+def _allowed_context(stack: list[ast.AST]) -> bool:
+    for frame in reversed(stack):
+        if isinstance(frame, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = frame.name
+            return name in _ALLOWED_FUNCS or name.startswith(
+                _ALLOWED_PREFIXES
+            )
+    return False
+
+
+class FrozenConfigChecker(Checker):
+    """Flag post-construction mutation of config-shaped objects."""
+
+    code = "RPL401"
+    name = "frozen-config-mutation"
+    hint = (
+        "configs address cached results by their canonical JSON; derive "
+        "a changed instance with dataclasses.replace(...) instead of "
+        "mutating in place"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_repro
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        # Manual walk keeping the lexical function stack.
+        stack: list[ast.AST] = []
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for t in targets:
+                if not isinstance(t, ast.Attribute):
+                    continue
+                shaped = _config_shaped(t.value)
+                if shaped is not None and not _allowed_context(stack):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"assignment to {shaped}.{t.attr} mutates a "
+                        f"frozen configuration outside its "
+                        f"__init__/builder",
+                    )
+            if isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                elif isinstance(node.func, ast.Name):
+                    name = node.func.id
+                if name == "__setattr__" and not _allowed_context(stack):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "object.__setattr__ outside __init__/"
+                        "__post_init__ defeats dataclass freezing",
+                    )
+                elif (
+                    name == "setattr"
+                    and node.args
+                    and _config_shaped(node.args[0]) is not None
+                    and not _allowed_context(stack)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"setattr on {_config_shaped(node.args[0])} "
+                        f"mutates a frozen configuration",
+                    )
+            stack.append(node)
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            stack.pop()
+
+        yield from visit(ctx.tree)

@@ -1,0 +1,79 @@
+"""RPL101 — host clocks are forbidden outside the harness layer.
+
+The simulated cluster runs on a virtual clock (``env.now``); every result
+a driver produces — pass timings, fault latencies, the content-addressed
+entries the :class:`~repro.runtime.store.ResultStore` persists — must be a
+pure function of the configuration.  A host clock read
+(``time.perf_counter()``, ``datetime.now()``, ...) inside the simulation
+stack smuggles nondeterministic wall-clock into those results: exactly the
+bug this PR evicted from ``repro.mining.hpa``/``npa``, where per-pass
+``*_wall_s`` values flowed into cached results.  Only ``repro.harness``
+may measure host time (benchmarks, sweep accounting, the
+:class:`~repro.harness.wallclock.PhaseWallClock` profiler).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.framework import (
+    Checker,
+    Finding,
+    LintContext,
+    import_aliases,
+    resolve_call,
+)
+
+__all__ = ["HostClockChecker"]
+
+#: Fully-qualified callables that read the host clock.
+HOST_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: The only package prefix allowed to read host clocks.
+_ALLOWED_PREFIX = "repro.harness"
+
+
+class HostClockChecker(Checker):
+    """Flag host-clock reads inside simulation-layer modules."""
+
+    code = "RPL101"
+    name = "host-clock-in-sim"
+    hint = (
+        "simulation layers must be pure functions of their config: use "
+        "env.now for simulated time, or move the measurement into "
+        "repro.harness (e.g. harness.wallclock.PhaseWallClock)"
+    )
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_repro and not ctx.module_startswith(_ALLOWED_PREFIX)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(node, aliases)
+            if target in HOST_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"host clock read {target}() in simulation-layer "
+                    f"module {ctx.module} (only repro.harness may "
+                    f"measure host wall-clock)",
+                )

@@ -16,12 +16,15 @@ delivery/depth/occupancy statistics either way (:meth:`Transport.stats`).
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.errors import NetworkError
 from repro.cluster.network import Message, Network
 from repro.sim.process import Process
 from repro.sim.store import Store, StoreGet, StorePut
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Environment
 
 __all__ = ["Mailbox", "Transport"]
 
@@ -36,7 +39,7 @@ class Mailbox(Store):
     """
 
     def __init__(
-        self, env, capacity: float = float("inf")
+        self, env: "Environment", capacity: float = float("inf")
     ) -> None:
         super().__init__(env, capacity)
         self.delivered = 0
@@ -149,7 +152,7 @@ class Transport:
         """
         return self.env.process(self.send(src, dst, channel, payload, size_bytes))
 
-    def recv(self, node_id: int, channel: str):
+    def recv(self, node_id: int, channel: str) -> StoreGet:
         """Event yielding the next :class:`Message` on the channel."""
         return self.mailbox(node_id, channel).get()
 

@@ -23,6 +23,7 @@ from repro.mining.hash_table import HashLine
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.node import Node
     from repro.core.placement import PlacementPolicy
+    from repro.mining.itemsets import Itemset
     from repro.obs.events import EventBus
 
 __all__ = ["Pager", "PagerStats"]
@@ -85,7 +86,7 @@ class Pager(ABC):
         #: :meth:`repro.obs.telemetry.Telemetry.attach`.
         self.bus: "Optional[EventBus]" = None
 
-    def _emit(self, kind: str, detail: str = "", **fields) -> None:
+    def _emit(self, kind: str, detail: str = "", **fields: object) -> None:
         if self.on_event is not None:
             self.on_event(kind, self.node.node_id, detail)
         if self.bus is not None:
@@ -113,7 +114,9 @@ class Pager(ABC):
         """Fetch a swapped line's contents for reading (determination
         phase) without changing its residency; returns the line."""
 
-    def buffer_update(self, line_id: int, itemset, delta: int) -> Optional[Generator]:
+    def buffer_update(
+        self, line_id: int, itemset: "Itemset", delta: int
+    ) -> Optional[Generator]:
         """Queue an update for a remote-fixed line (remote-update pagers only).
 
         Returns ``None`` when the record was buffered synchronously, or a

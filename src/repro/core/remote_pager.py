@@ -25,7 +25,7 @@ process existed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.analysis.cost_model import CostModel
 from repro.core.memory_table import LineState, MemoryManagementTable
@@ -306,7 +306,7 @@ class RemoteUpdatePager(RemoteMemoryPager):
     fixed = True
     supports_remote_update = True
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self._buffers: dict[int, list] = {}  # holder -> update records
         self._inflight: "dict[int, list[Process]]" = {}

@@ -10,7 +10,10 @@ perf trajectory to regress against.
 
 Wall-clock here is *host* time (``time.perf_counter``), entirely
 distinct from the simulated virtual clock — see DESIGN.md's kernel-layer
-section for why the two must never mix.
+section for why the two must never mix.  Per-phase host times come from a
+:class:`~repro.harness.wallclock.PhaseWallClock` subscribed to the run's
+phase-boundary events: the drivers themselves never read a host clock
+(``repro-lint`` RPL101), so cached results cannot embed one.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import time
 
 from repro.mining.hpa import HPAConfig, HPAResult, HPARun
 from repro.harness.scales import prepare_workload
+from repro.harness.wallclock import PhaseWallClock
 
 __all__ = ["result_hash", "run_hotpath", "write_hotpath_json", "render_hotpath"]
 
@@ -76,18 +80,16 @@ def _one_run(scale_name: str, kernel: str) -> dict:
         seed=s.seed,
         kernel=kernel,
     )
+    run = HPARun(prep.db, cfg)
+    profiler = PhaseWallClock().attach(run)
     start = time.perf_counter()
-    res = HPARun(prep.db, cfg).run()
+    res = run.run()
     wall_s = time.perf_counter() - start
     p2 = res.pass_result(2)
     return {
         "kernel": kernel,
         "wall_s": wall_s,
-        "phases": {
-            "candgen_wall_s": p2.candgen_wall_s,
-            "counting_wall_s": p2.counting_wall_s,
-            "determine_wall_s": p2.determine_wall_s,
-        },
+        "phases": profiler.pass_walls(2),
         "sim_pass2_s": p2.duration_s,
         "count_messages": p2.count_messages,
         "n_large": len(res.large_itemsets),

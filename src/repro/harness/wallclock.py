@@ -1,0 +1,105 @@
+"""Host wall-clock profiling of simulation phases, from the harness side.
+
+The drivers mark phase boundaries on the telemetry bus (``phase`` point
+events and ``pass{k}/...`` spans) as the simulation crosses them.  Bus
+dispatch is synchronous, so the *host* moment a boundary event reaches a
+subscriber is the host moment the simulation reached that boundary —
+which lets this module measure per-phase wall-clock without the drivers
+ever touching a host clock.  That separation is load-bearing: driver
+results are cached content-addressed (:mod:`repro.runtime.store`), so
+nothing nondeterministic may flow into them; ``repro-lint``'s RPL101
+checker enforces the boundary statically, and this profiler is the
+sanctioned way to get the measurement back.
+
+Phases within a pass are separated by global barriers, so host time
+between two consecutive boundary events is exactly the host cost of the
+phase in between — the same quantity the drivers used to (illegally)
+measure inline with ``time.perf_counter()``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs import Telemetry
+from repro.obs.events import ObsEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.driver import MiningDriver
+
+__all__ = ["PhaseWallClock"]
+
+
+class PhaseWallClock:
+    """Bus subscriber stamping host time at phase boundaries.
+
+    One profiler can follow several consecutive runs on a shared bus
+    (stamps are keyed by the bus's run id).  Attach before ``run()``::
+
+        profiler = PhaseWallClock()
+        run = HPARun(db, cfg)
+        profiler.attach(run)
+        result = run.run()
+        walls = profiler.pass_walls(2)   # {"candgen_wall_s": ..., ...}
+    """
+
+    def __init__(self) -> None:
+        #: (run, kind, detail) -> host perf_counter at first emission.
+        self._stamps: dict[tuple[int, str, str], float] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def subscriber(self):
+        """The bus subscriber callable (subscribe on any telemetry bus)."""
+
+        def _stamp(event: ObsEvent) -> None:
+            key = (event.run, event.kind, event.detail)
+            self._stamps.setdefault(key, time.perf_counter())
+
+        return _stamp
+
+    def attach(self, run: "MiningDriver") -> "PhaseWallClock":
+        """Wire this profiler into ``run`` before it executes.
+
+        When the run has no telemetry yet, a *lean* session is created:
+        the driver's phase/span marks flow (that is all this profiler
+        needs) but no component — network, pagers, monitors — is wired
+        to the bus, so the simulation hot path pays nothing.  With an
+        existing telemetry session the profiler simply subscribes.
+        """
+        if run.telemetry is None:
+            telemetry = Telemetry()
+            telemetry.begin_run(run.env, {"driver": run.driver_name})
+            run.telemetry = telemetry
+        run.telemetry.bus.subscribe(self.subscriber())
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    def stamp(self, kind: str, detail: str, run: int = 0) -> Optional[float]:
+        """Host time of one boundary event, or ``None`` if never seen."""
+        return self._stamps.get((run, kind, detail))
+
+    def pass_walls(self, k: int, run: int = 0) -> dict[str, float]:
+        """Host wall-clock per phase of pass ``k``.
+
+        Keys mirror the historical ``PassResult`` field names
+        (``candgen_wall_s`` / ``counting_wall_s`` / ``determine_wall_s``);
+        a phase whose boundary events never fired reports 0.0.
+        """
+        t_start = self.stamp("phase", f"pass {k} start", run)
+        t_candgen = self.stamp("span", f"pass{k}/candgen", run)
+        t_count = self.stamp("span", f"pass{k}/counting", run)
+        t_det = self.stamp("span", f"pass{k}/determine", run)
+
+        def delta(a: Optional[float], b: Optional[float]) -> float:
+            if a is None or b is None:
+                return 0.0
+            return b - a
+
+        return {
+            "candgen_wall_s": delta(t_start, t_candgen),
+            "counting_wall_s": delta(t_candgen, t_count),
+            "determine_wall_s": delta(t_count, t_det),
+        }

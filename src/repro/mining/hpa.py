@@ -32,7 +32,6 @@ sender/receiver counting phase, and the determination broadcast.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Generator, Optional
@@ -89,7 +88,6 @@ class HPARun(MiningDriver):
     def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
         cfg = self.config
         t0 = self.env.now
-        w0 = time.perf_counter()
         self._trace_phase(f"pass {k} start")
 
         # Generate the candidate set once (every node computes it in the
@@ -149,7 +147,6 @@ class HPARun(MiningDriver):
             ]
         )
         t_candgen = self.env.now
-        w_candgen = time.perf_counter()
         self._trace_phase(f"pass {k} candidates generated")
         self._span(f"pass{k}/candgen", t0, t_candgen)
 
@@ -164,7 +161,6 @@ class HPARun(MiningDriver):
                     start_time=t0,
                     end_time=self.env.now,
                     candgen_time_s=t_candgen - t0,
-                    candgen_wall_s=w_candgen - w0,
                 ),
                 {},
             )
@@ -183,7 +179,6 @@ class HPARun(MiningDriver):
         # Settle outstanding update messages before reading counts.
         yield from self._barrier([self.managers[a].drain() for a in self.app_ids])
         t_count = self.env.now
-        w_count = time.perf_counter()
         self._trace_phase(f"pass {k} counting done")
         self._span(f"pass{k}/counting", t_candgen, t_count)
 
@@ -201,7 +196,6 @@ class HPARun(MiningDriver):
                 if count >= self.minsup_count:
                     l_now[itemset] = count
         t_det = self.env.now
-        w_det = time.perf_counter()
         self._span(f"pass{k}/determine", t_count, t_det)
         self._span(f"pass{k}", t0, t_det)
 
@@ -231,9 +225,6 @@ class HPARun(MiningDriver):
                 fault_time_per_node=[delta[a][3] for a in self.app_ids],
                 n_duplicated=len(dup_set),
                 count_messages=n_count_messages,
-                candgen_wall_s=w_candgen - w0,
-                counting_wall_s=w_count - w_candgen,
-                determine_wall_s=w_det - w_count,
             ),
             l_now,
         )

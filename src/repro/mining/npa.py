@@ -19,7 +19,6 @@ counting/reduction phases.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Generator, Optional
@@ -64,7 +63,6 @@ class NPARun(MiningDriver):
     def _run_pass(self, k: int, l_prev: dict[Itemset, int]) -> Generator:
         cfg = self.config
         t0 = self.env.now
-        w0 = time.perf_counter()
         self._trace_phase(f"pass {k} start")
         candidates = generate_candidates(sorted(l_prev), k)
         with_lines = [(c, self._line_of(c)) for c in candidates]
@@ -83,7 +81,6 @@ class NPARun(MiningDriver):
             [self._candgen_node(a, with_lines) for a in self.app_ids]
         )
         t_candgen = self.env.now
-        w_candgen = time.perf_counter()
         self._trace_phase(f"pass {k} candidates generated")
         self._span(f"pass{k}/candgen", t0, t_candgen)
 
@@ -95,7 +92,6 @@ class NPARun(MiningDriver):
                     per_node_candidates=[0] * cfg.n_app_nodes, n_large=0,
                     start_time=t0, end_time=self.env.now,
                     candgen_time_s=t_candgen - t0,
-                    candgen_wall_s=w_candgen - w0,
                 ),
                 {},
             )
@@ -111,7 +107,6 @@ class NPARun(MiningDriver):
         )
         yield from self._barrier([self.managers[a].drain() for a in self.app_ids])
         t_count = self.env.now
-        w_count = time.perf_counter()
         self._trace_phase(f"pass {k} counting done")
         self._span(f"pass{k}/counting", t_candgen, t_count)
 
@@ -119,7 +114,6 @@ class NPARun(MiningDriver):
         merged = yield from self._reduce(len(candidates))
         l_now = {i: c for i, c in merged.items() if c >= self.minsup_count}
         t_det = self.env.now
-        w_det = time.perf_counter()
         self._span(f"pass{k}/determine", t_count, t_det)
         self._span(f"pass{k}", t0, t_det)
 
@@ -149,9 +143,6 @@ class NPARun(MiningDriver):
                 fault_time_per_node=[delta[a][3] for a in self.app_ids],
                 n_duplicated=len(candidates),
                 count_messages=0,
-                candgen_wall_s=w_candgen - w0,
-                counting_wall_s=w_count - w_candgen,
-                determine_wall_s=w_det - w_count,
             ),
             l_now,
         )

@@ -18,7 +18,66 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-__all__ = ["ObsEvent", "EventBus", "Subscriber"]
+__all__ = [
+    "ObsEvent",
+    "EventBus",
+    "Subscriber",
+    "EVENT_KINDS",
+    "METRIC_NAMES",
+]
+
+#: The canonical telemetry vocabulary: every event kind any component may
+#: ``emit``.  The bus itself stays stringly-typed (emission must be cheap
+#: and decoupled), so a typo'd kind is not a runtime error — it simply
+#: reaches no consumer logic and vanishes from traces.  ``repro-lint``'s
+#: RPL301 checker holds every literal ``emit(...)`` site to this set;
+#: adding an event kind means declaring it here first.
+EVENT_KINDS = frozenset({
+    # pager / swap manager (repro.core)
+    "fault",            # one pagefault service, with source + duration
+    "swap-out",         # one line leaving resident memory
+    "swap-cost",        # the transfer/store cost of an eviction
+    "make-room",        # an eviction burst freeing space for an insert
+    "migration",        # shortage-driven bulk relocation of lines
+    # placement / monitors (repro.core)
+    "placement",        # a destination chosen for a swapped line
+    "placement-reject", # a destination refused (full / no memory)
+    "monitor-broadcast",# periodic availability announcement
+    "shortage",         # a memory node signalling local pressure
+    "shortage-seen",    # an application node learning of a shortage
+    # network (repro.cluster)
+    "net-msg",          # one delivered message
+    "net-retransmit",   # one lost-and-retransmitted message
+    # run structure (repro.obs / drivers)
+    "phase",            # point marker at a phase boundary
+    "span",             # completed interval on the simulation clock
+    # sweep engine (repro.harness.sweep)
+    "sweep-start",
+    "sweep-run",
+    "sweep-done",
+})
+
+#: The canonical metric vocabulary: every counter/histogram/gauge name
+#: registered on a :class:`~repro.obs.metrics.MetricsRegistry`.  RPL302
+#: holds every literal accessor call to this set, for the same reason as
+#: :data:`EVENT_KINDS` — an undeclared metric records into a series
+#: nothing exports or asserts on.
+METRIC_NAMES = frozenset({
+    # derived from the event stream (repro.obs.telemetry)
+    "pagefaults", "fault_bytes_in", "pagefault_latency_s",
+    "swap_outs", "swap_bytes_out", "swap_roundtrip_s",
+    "net_messages", "net_wire_bytes", "message_size_bytes",
+    "net_retransmissions",
+    "migrations", "lines_migrated",
+    "placements", "placement_rejections",
+    "eviction_bursts", "eviction_victims",
+    "monitor_available_bytes", "shortages",
+    "span_s",
+    "sweep_runs", "sweep_run_wall_s",
+    # cache tiers (repro.runtime)
+    "scenario_cache_hits", "scenario_cache_misses",
+    "result_store_hits", "result_store_misses",
+})
 
 #: A bus subscriber: any callable accepting one :class:`ObsEvent`.
 Subscriber = Callable[["ObsEvent"], None]

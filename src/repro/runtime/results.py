@@ -10,6 +10,14 @@ refactors.
 
 The historical names ``HPAPassResult`` / ``HPAResult`` remain importable
 from :mod:`repro.mining.hpa` as aliases.
+
+Every field here is simulated state: results are pure functions of the
+configuration, which is what lets the
+:class:`~repro.runtime.store.ResultStore` address them by content.  Host
+wall-clock is measured outside the drivers entirely, by subscribing a
+:class:`~repro.harness.wallclock.PhaseWallClock` to the telemetry bus —
+it must never appear in these dataclasses (``repro-lint`` RPL101 guards
+the drivers themselves).
 """
 
 from __future__ import annotations
@@ -44,12 +52,6 @@ class PassResult:
     fault_time_per_node: list[float] = field(default_factory=list)
     n_duplicated: int = 0
     count_messages: int = 0
-    #: Host wall-clock spent executing each phase (real seconds, NOT
-    #: simulated time) — the quantity the counting kernels improve.
-    #: Excluded from every equivalence comparison.
-    candgen_wall_s: float = 0.0
-    counting_wall_s: float = 0.0
-    determine_wall_s: float = 0.0
 
     @property
     def duration_s(self) -> float:

@@ -50,8 +50,11 @@ __all__ = [
 ]
 
 #: Bumped when the on-disk layout changes; mismatching entries are
-#: treated as misses and overwritten.
-STORE_FORMAT = 1
+#: treated as misses and overwritten.  Format 2 removed the per-pass
+#: ``*_wall_s`` host wall-clock fields: stored results are now pure
+#: functions of the scenario, with host timing measured harness-side
+#: (:mod:`repro.harness.wallclock`).
+STORE_FORMAT = 2
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""RPL201 fixture: ambient-entropy draws inside the library.
+
+Never imported — parsed by the repro-lint self-tests, which pin the
+exact error codes and line numbers below.
+"""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def shuffle_lines(lines):
+    random.shuffle(lines)  # line 15: RPL201
+    return lines
+
+
+def fresh_token():
+    return uuid.uuid4().hex  # line 20: RPL201
+
+
+def noise_block():
+    salt = os.urandom(8)  # line 24: RPL201
+    jitter = np.random.rand(4)  # line 25: RPL201
+    return salt, jitter

@@ -1,0 +1,22 @@
+"""RPL202 clean twin: sorted() pins emission order; pure reductions over
+sets (no ordering-sensitive sink) are also legal."""
+
+
+def broadcast(transport, node_ids, payload):
+    for dst in sorted(set(node_ids)):
+        transport.send(dst, payload)
+
+
+def report_rows(items):
+    rows = []
+    for itemset in sorted(frozenset(items)):
+        rows.append(list(itemset))
+    return rows
+
+
+def total_support(counts):
+    seen = set(counts)
+    total = 0
+    for itemset in seen:  # order-insensitive reduction: no sink
+        total += counts[itemset]
+    return total

@@ -1,0 +1,24 @@
+"""RPL202 fixture: set iteration feeding ordering-sensitive sinks.
+
+Never imported — parsed by the repro-lint self-tests, which pin the
+exact error codes and line numbers below.
+"""
+
+
+def broadcast(transport, node_ids, payload):
+    peers = set(node_ids)
+    for dst in peers:  # line 10: RPL202 (send in body)
+        transport.send(dst, payload)
+
+
+def drain(env, procs):
+    pending = {p for p in procs if p.is_alive}
+    for p in pending:  # line 16: RPL202 (yields into the simulation)
+        yield p
+
+
+def report_rows(items):
+    rows = []
+    for itemset in frozenset(items):  # line 22: RPL202 (append in body)
+        rows.append(list(itemset))
+    return rows

@@ -1,0 +1,10 @@
+"""RPL101 scope twin: identical host-clock reads are legal in the
+harness layer — the rule is a *boundary*, not a blanket ban."""
+
+import time
+
+
+def wall_clock_of(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

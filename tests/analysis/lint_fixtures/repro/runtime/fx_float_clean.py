@@ -1,0 +1,17 @@
+"""RPL501 clean twin: numeric closeness carries an explicit tolerance;
+encoded-value identity compares the repr strings the codec actually
+round-trips."""
+
+import math
+
+
+def is_baseline(row):
+    return row["paper_mb"] is None
+
+
+def close_to(row, target_s):
+    return math.isclose(row["total_time_s"], target_s, abs_tol=1e-12)
+
+
+def same_encoded_value(a, b):
+    return repr(a) == repr(b)

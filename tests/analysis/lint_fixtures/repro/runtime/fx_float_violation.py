@@ -1,0 +1,18 @@
+"""RPL501 fixture: float equality inside the report/store codec layer.
+
+Never imported — parsed by the repro-lint self-tests, which pin the
+exact error codes and line numbers below.
+"""
+
+
+def is_baseline(row):
+    return row["paper_mb"] == 0.0  # line 9: RPL501
+
+
+def select_cells(rows, target_s):
+    kept = []
+    for row in rows:
+        if float(row["total_time_s"]) != target_s:  # line 15: RPL501
+            continue
+        kept.append(row)
+    return kept

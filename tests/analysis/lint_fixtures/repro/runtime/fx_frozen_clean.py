@@ -1,0 +1,18 @@
+"""RPL401 clean twin: configs change by derivation, never mutation, and
+``object.__setattr__`` is legal only while the object constructs itself
+(how frozen dataclasses normalise fields in ``__post_init__``)."""
+
+from dataclasses import replace
+
+
+def widen(config, factor):
+    return replace(config, n_app_nodes=config.n_app_nodes * factor)
+
+
+def build_config(cls, scale, pager):
+    return cls(minsup=scale.minsup, pager=pager)
+
+
+class _Spec:
+    def __post_init__(self):
+        object.__setattr__(self, "shortages", tuple(self.shortages))

@@ -1,0 +1,21 @@
+"""RPL401 fixture: mutating frozen configuration objects in place.
+
+Never imported — parsed by the repro-lint self-tests, which pin the
+exact error codes and line numbers below.
+"""
+
+
+def widen(config, factor):
+    config.n_app_nodes = config.n_app_nodes * factor  # line 9: RPL401
+    return config
+
+
+def retarget(run, pager):
+    run.config.pager = pager  # line 14: RPL401
+    object.__setattr__(run.config, "replacement", "fifo")  # line 15: RPL401
+    return run
+
+
+def patch(scenario):
+    setattr(scenario, "max_k", 3)  # line 20: RPL401
+    return scenario

@@ -1,0 +1,17 @@
+"""RPL101 clean twin: the same shape of code on the virtual clock only.
+
+A simulation-layer module may measure durations exclusively through
+``env.now``; host wall-clock belongs to ``repro.harness`` (see the
+``repro.harness``-scoped twin in this fixture tree).
+"""
+
+
+def measure_pass(env, work):
+    start = env.now
+    for step in work:
+        env.advance(step)
+    return env.now - start
+
+
+def virtual_seconds(env):
+    return env.now

@@ -1,0 +1,21 @@
+"""RPL101 fixture: host-clock reads inside a simulation-layer module.
+
+Never imported — parsed by the repro-lint self-tests, which pin the
+exact error codes and line numbers below.  Directory walks skip
+``lint_fixtures``; only explicit file arguments reach this file.
+"""
+
+import time
+from datetime import datetime
+
+
+def measure_pass(env, work):
+    start = time.perf_counter()  # line 13: RPL101
+    for step in work:
+        env.advance(step)
+    stamp = datetime.now()  # line 16: RPL101
+    return env.now, start, stamp
+
+
+def wall_seconds():
+    return time.time()  # line 21: RPL101

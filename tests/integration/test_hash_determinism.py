@@ -1,0 +1,47 @@
+"""Reports are invariant under Python hash randomization.
+
+Two subprocesses run the same experiment at the tiny scale under
+``PYTHONHASHSEED=0`` and ``PYTHONHASHSEED=1`` and write their report
+JSON; the files must be byte-identical.  Any unordered-set iteration
+feeding report content (the hazard repro-lint's RPL202 flags statically)
+would break this."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _run(hashseed: str, out_dir: Path) -> Path:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(REPO / "src")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.harness.cli",
+            "disk", "--scale", "tiny", "--json", str(out_dir),
+        ],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = out_dir / "disk.json"
+    assert report.is_file(), sorted(out_dir.iterdir())
+    return report
+
+
+def test_report_bytes_survive_hash_randomization(tmp_path):
+    a = _run("0", tmp_path / "seed0")
+    b = _run("1", tmp_path / "seed1")
+    bytes_a = a.read_bytes()
+    bytes_b = b.read_bytes()
+    assert bytes_a, "empty report"
+    assert bytes_a == bytes_b

@@ -1,0 +1,56 @@
+"""The canonical telemetry registry (repro.obs.events) really is
+canonical: a fully-instrumented run emits no event kind and touches no
+metric name outside the declared sets.  Static coverage of the same
+contract is enforced per call site by repro-lint (RPL301/RPL302)."""
+
+from __future__ import annotations
+
+from repro.datagen import generate
+from repro.mining.hpa import HPAConfig, HPARun
+from repro.obs import Telemetry
+from repro.obs.events import EVENT_KINDS, METRIC_NAMES
+
+DB = generate("T8.I3.D400", n_items=80, seed=3)
+
+
+def _instrumented_run():
+    tel = Telemetry()
+    run = HPARun(
+        DB,
+        HPAConfig(
+            minsup=0.02, n_app_nodes=2, total_lines=256, max_k=2,
+            pager="remote", n_memory_nodes=1, memory_limit_bytes=6000,
+            disk_fallback=True,
+        ),
+    )
+    run.enable_telemetry(tel)
+    run.run()
+    return tel
+
+
+def test_emitted_kinds_are_all_declared():
+    tel = _instrumented_run()
+    emitted = {ev.kind for ev in tel.events}
+    undeclared = emitted - EVENT_KINDS
+    assert not undeclared, f"emit sites using undeclared kinds: {undeclared}"
+    # The run exercises a meaningful slice of the vocabulary, so the
+    # subset check above is not vacuous.
+    assert {"fault", "swap-out", "phase", "span",
+            "monitor-broadcast"} <= emitted
+
+
+def test_touched_metric_names_are_all_declared():
+    tel = _instrumented_run()
+    touched = {name for name, _, _ in tel.registry.collect()}
+    undeclared = touched - METRIC_NAMES
+    assert not undeclared, f"undeclared metric names: {undeclared}"
+    assert {"pagefaults", "net_messages", "span_s"} <= touched
+
+
+def test_registry_constants_are_frozen_and_disjointly_named():
+    assert isinstance(EVENT_KINDS, frozenset)
+    assert isinstance(METRIC_NAMES, frozenset)
+    for kind in EVENT_KINDS:
+        assert kind == kind.strip() and kind
+    for name in METRIC_NAMES:
+        assert name == name.strip() and name
