@@ -355,7 +355,20 @@ class RemoteUpdatePager(RemoteMemoryPager):
             + self.cost.remote_update_service_per_item_s * len(records)
         )
         yield from holder_node.compute(service)
-        self.stores[holder].apply_updates(self.owner_id, records)
+        store = self.stores[holder]
+        stale = [r for r in records if not store.holds(self.owner_id, r[0])]
+        if stale:
+            # Those lines migrated away while this message was in
+            # flight (the migration's pre-sync only settles deliveries
+            # it can see; one spawned inside a flush window or already
+            # detached by drain is invisible to it).  The holder cannot
+            # apply them; park the records with the held set — drain /
+            # post-migration re-resolve each line's new holder and
+            # re-send, paying the extra message like a retransmission.
+            records = [r for r in records if store.holds(self.owner_id, r[0])]
+            self._held.extend(stale)
+        if records:
+            store.apply_updates(self.owner_id, records)
 
     # -- lifecycle --------------------------------------------------------------
 

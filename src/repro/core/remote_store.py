@@ -94,10 +94,14 @@ class RemoteStore:
     def apply_updates(self, owner: int, updates: Iterable[tuple[int, Itemset, int]]) -> None:
         """Apply a batch of (line_id, itemset, delta) update records.
 
-        ``delta == 0`` means "insert this candidate with count 0" (used
-        when candidate generation continues after a line was fixed
-        remotely); positive deltas are increments from the counting
-        phase.  Inserts grow the host allocation.
+        ``delta == 0`` means "insert this candidate" (used when candidate
+        generation continues after a line was fixed remotely); positive
+        deltas are increments from the counting phase.  Application is an
+        *upsert* — a first-seen itemset is created with its delta — so a
+        batch is order-independent: migrations requeue in-flight records
+        to the line's new holder, which can deliver an increment ahead of
+        the insert it logically follows, and the final count (the sum of
+        all deltas) must not depend on that interleaving.
         """
         for line_id, itemset, delta in updates:
             key = (owner, line_id)
@@ -109,17 +113,13 @@ class RemoteStore:
             line = self._lines[key]
             if itemset in line.counts:
                 line.counts[itemset] += delta
-            elif delta == 0:
+            else:
                 # Growing an already-accepted line proceeds even under
                 # external pressure (the guest was admitted; only the hard
                 # physical capacity still guards the allocation) so that
                 # in-flight inserts racing a shortage signal do not fail.
                 self.node.memory.allocate(ITEMSET_BYTES)
-                line.counts[itemset] = 0
-            else:
-                raise SwapError(
-                    f"increment for unknown candidate {itemset} on line {line_id}"
-                )
+                line.counts[itemset] = delta
 
     def clear(self) -> None:
         """Drop all guest lines, returning their bytes (end of pass)."""

@@ -102,6 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-experiment wall-clock and cache accounting "
         "(the BENCH_sweep.json row format) to <FILE>",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scale's workload seed (an independent "
+        "replication of the synthetic database; the multi-seed axis "
+        "repro-report aggregates over)",
+    )
+    parser.add_argument(
+        "--store-stats",
+        action="store_true",
+        help="print the result store's hit/miss/write counters and "
+        "per-entry sizes as JSON on stdout (requires --store/--resume; "
+        "with no experiment, just inspects the store)",
+    )
     return parser
 
 
@@ -135,6 +151,25 @@ def main(argv: "list[str] | None" = None) -> int:
             return 1
         if args.experiment is None:
             return 0
+    if args.store_stats and args.store is None and not args.resume:
+        print(
+            "repro-bench: --store-stats needs a store (--store/--resume)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store_stats and args.experiment is None:
+        # Pure inspection: report on the store as it sits on disk.
+        import json
+
+        from repro.runtime import ResultStore
+
+        store = ResultStore(args.store or ".repro-store")
+        print(json.dumps(
+            {"stats": store.stats(), "entry_stats": store.entry_stats()},
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
     if args.list or args.experiment is None:
         print("available experiments:")
         for name in ALL_EXPERIMENTS:
@@ -183,7 +218,8 @@ def main(argv: "list[str] | None" = None) -> int:
             for name in names:
                 start = time.perf_counter()
                 outcome = run_sweep_outcome(
-                    ALL_EXPERIMENTS[name], args.scale, jobs=args.jobs
+                    ALL_EXPERIMENTS[name], args.scale, jobs=args.jobs,
+                    seed=args.seed,
                 )
                 elapsed = time.perf_counter() - start
                 outcomes.append(outcome)
@@ -210,6 +246,14 @@ def main(argv: "list[str] | None" = None) -> int:
             f"{stats['misses']} misses, {stats['writes']} writes, "
             f"{stats['entries']} entries]"
         )
+        if args.store_stats:
+            import json
+
+            print(json.dumps(
+                {"stats": stats, "entry_stats": store.entry_stats()},
+                indent=2,
+                sort_keys=True,
+            ))
     if args.sweep_json is not None:
         import json
         import pathlib

@@ -113,17 +113,24 @@ class PreparedWorkload:
         return max(1, int(self.busiest_node_bytes * paper_mb / PAPER_BUSIEST_MB))
 
 
-@lru_cache(maxsize=8)
-def prepare_workload(scale_name: str) -> PreparedWorkload:
+@lru_cache(maxsize=32)
+def prepare_workload(
+    scale_name: str, seed: "int | None" = None
+) -> PreparedWorkload:
     """Generate the scale's database and size its pass-2 candidate set.
 
     Runs pass 1 + candidate generation analytically (no simulation) to
     find the busiest node's footprint, which anchors the MB mapping.
+    ``seed`` overrides the scale's default workload seed — the multi-seed
+    report sweeps regenerate the database (and therefore the candidate
+    geometry the MB limits are anchored to) once per seed.
     """
     if scale_name not in SCALES:
         raise HarnessError(f"unknown scale {scale_name!r}; have {sorted(SCALES)}")
     scale = SCALES[scale_name]
-    db = generate(scale.workload, n_items=scale.n_items, seed=scale.seed)
+    if seed is None:
+        seed = scale.seed
+    db = generate(scale.workload, n_items=scale.n_items, seed=seed)
     ref = apriori(db, minsup=scale.minsup, max_k=2)
     l1 = sorted(ref.large_of_size(1))
     from repro.mining.candidates import generate_candidates

@@ -116,8 +116,14 @@ def run_sweep_bench(
         "scale": scale,
         # Wall-clock speedup is bounded by the cores actually available;
         # on a single-CPU host the parallel phase can only verify the
-        # byte-identity contract, not demonstrate a speedup.
-        "host": {"cpu_count": os.cpu_count(), "effective_cpus": effective_cpus},
+        # byte-identity contract, not demonstrate a speedup.  A degraded
+        # host (fewer effective CPUs than workers) is recorded so report
+        # consumers can refuse to read the speedup as an engine property.
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "effective_cpus": effective_cpus,
+            "host_degraded": effective_cpus < jobs,
+        },
         "experiments": list(sweeps),
         "identity_exempt": [n for n in IDENTITY_EXEMPT if n in sweeps],
         "byte_identical": True,
@@ -151,6 +157,13 @@ def main(argv: "Optional[list[str]]" = None) -> int:
         f"({payload['speedup']:.2f}x on {payload['host']['effective_cpus']} "
         f"cpu), reports byte-identical -> {out}"
     )
+    if payload["host"]["host_degraded"]:
+        print(
+            f"[sweep bench] warning: host degraded — "
+            f"{payload['host']['effective_cpus']} effective CPU(s) for "
+            f"{args.jobs} workers; the speedup measures CPU contention, "
+            "not engine overhead"
+        )
     return 0
 
 

@@ -57,6 +57,12 @@ the busiest node's candidate footprint (the paper's 12–15 MB limits are
 78–97 % of its busiest node's 15.39 MB; ours are the same fractions of
 our busiest node's bytes).
 
+Each number below is one deterministic run at the scale's default seed.
+For means with 95 % bootstrap confidence intervals and rank tests over
+several replication seeds, render the statistical report:
+`repro-report --scale small --seeds 3 --store rs --out reports`
+(see DESIGN.md §13).
+
 ---
 """
 

@@ -209,21 +209,30 @@ def _resolve(
 
 
 def run_sweep_outcome(
-    sweep: Sweep, scale: str = "small", *, jobs: int = 1
+    sweep: Sweep,
+    scale: str = "small",
+    *,
+    jobs: int = 1,
+    seed: "int | None" = None,
 ) -> SweepOutcome:
     """Execute ``sweep`` at ``scale`` with ``jobs`` worker processes.
 
     ``jobs <= 1`` runs everything in-process.  Persistence comes from
     the ambient result store when a
     :func:`~repro.runtime.store.result_store_session` is active.
+    ``seed`` re-seeds every grid (and follow-up) cell, giving one
+    independent replication of the whole sweep per seed — the axis the
+    ``repro-report`` multi-seed aggregates are built on.
     """
     start = time.perf_counter()
-    cells = sweep.scenarios(scale)
+    cells = sweep.scenarios(scale, seed)
     _emit("sweep-start", sweep, scale, n_cells=len(cells), jobs=jobs)
     records: "list[RunRecord]" = []
     results = _resolve(sweep, cells, jobs, records)
     if sweep.followups is not None:
         extra = sweep.followups(scale, results)
+        if seed is not None:
+            extra = {k: s.with_seed(seed) for k, s in extra.items()}
         collisions = set(extra) & set(results)
         if collisions:
             raise HarnessError(
@@ -246,7 +255,11 @@ def run_sweep_outcome(
 
 
 def run_sweep(
-    sweep: Sweep, scale: str = "small", *, jobs: int = 1
+    sweep: Sweep,
+    scale: str = "small",
+    *,
+    jobs: int = 1,
+    seed: "int | None" = None,
 ) -> ExperimentReport:
     """:func:`run_sweep_outcome`, keeping only the report."""
-    return run_sweep_outcome(sweep, scale, jobs=jobs).report
+    return run_sweep_outcome(sweep, scale, jobs=jobs, seed=seed).report

@@ -100,12 +100,20 @@ class Sweep:
     #: Markdown body for the generated EXPERIMENTS.md section.
     doc: str = ""
 
-    def scenarios(self, scale: str) -> "dict[str, Scenario]":
-        """The stage-1 grid, validated (keys unique and non-empty)."""
+    def scenarios(
+        self, scale: str, seed: Optional[int] = None
+    ) -> "dict[str, Scenario]":
+        """The stage-1 grid, validated (keys unique and non-empty).
+
+        ``seed`` re-seeds every cell (the multi-seed report axis):
+        the grid stays pure data, and the same declarative sweep yields
+        one statistically independent replication per seed."""
         cells = self.grid(scale)
         for key in cells:
             if not key:
                 raise HarnessError(f"sweep {self.name!r}: empty grid key")
+        if seed is not None:
+            cells = {k: s.with_seed(seed) for k, s in cells.items()}
         return cells
 
     def __call__(self, scale: str = "small") -> ExperimentReport:

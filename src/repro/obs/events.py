@@ -55,6 +55,9 @@ EVENT_KINDS = frozenset({
     "sweep-start",
     "sweep-run",
     "sweep-done",
+    # report service (repro.analysis.report)
+    "report-render",    # one markdown/HTML report rendered
+    "report-diff",      # one regression-gate comparison completed
 })
 
 #: The canonical metric vocabulary: every counter/histogram/gauge name
@@ -76,7 +79,9 @@ METRIC_NAMES = frozenset({
     "sweep_runs", "sweep_run_wall_s",
     # cache tiers (repro.runtime)
     "scenario_cache_hits", "scenario_cache_misses",
-    "result_store_hits", "result_store_misses",
+    "result_store_hits", "result_store_misses", "result_store_writes",
+    # report service (repro.analysis.report)
+    "report_renders", "report_cells", "report_diffs",
 })
 
 #: A bus subscriber: any callable accepting one :class:`ObsEvent`.

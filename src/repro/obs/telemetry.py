@@ -127,6 +127,14 @@ class _MetricsUpdater:
                     buckets=(0.01, 0.1, 1.0, 10.0, 100.0, 1000.0),
                     sweep=f.get("sweep", "?"),
                 ).observe(f["wall_s"])
+        elif kind == "report-render":
+            r.counter("report_renders", fmt=f.get("fmt", "?")).inc()
+            if "n_cells" in f:
+                r.counter("report_cells", fmt=f.get("fmt", "?")).inc(
+                    f["n_cells"]
+                )
+        elif kind == "report-diff":
+            r.counter("report_diffs", verdict=f.get("verdict", "?")).inc()
 
 
 class Telemetry:

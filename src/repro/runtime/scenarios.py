@@ -81,6 +81,10 @@ class Scenario:
     n_app_nodes: Optional[int] = None
     #: Override the scale's hash-line count (scaling sweeps).
     total_lines: Optional[int] = None
+    #: Override the scale's workload seed (the multi-seed report axis);
+    #: ``None`` runs at the scale's default seed.  Regenerates the
+    #: transaction database, so every downstream quantity resamples.
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.driver not in DRIVERS:
@@ -110,6 +114,14 @@ class Scenario:
     def from_json(cls, text: str) -> "Scenario":
         return cls.from_dict(json.loads(text))
 
+    def with_seed(self, seed: Optional[int]) -> "Scenario":
+        """This scenario at ``seed`` (the multi-seed sweep axis); the
+        cosmetic name/description are dropped like :func:`paper_limited`
+        does, so seeded variants share no registry identity."""
+        if seed is None or seed == self.seed:
+            return self
+        return replace(self, name="", seed=seed)
+
     def cache_key(self) -> str:
         """Canonical key: every field that affects the execution (the
         cosmetic ``name``/``description`` are excluded)."""
@@ -138,7 +150,7 @@ class Scenario:
             n_app_nodes=self.n_app_nodes or scale.n_app_nodes,
             total_lines=self.total_lines or scale.total_lines,
             max_k=self.max_k,
-            seed=scale.seed,
+            seed=scale.seed if self.seed is None else self.seed,
             pager=self.pager,
             n_memory_nodes=self.n_memory_nodes,
             memory_limit_bytes=limit,
@@ -155,7 +167,7 @@ class Scenario:
         from repro.mining.hpa import HPARun
         from repro.mining.npa import NPARun
 
-        prep = prepare_workload(self.scale)
+        prep = prepare_workload(self.scale, self.seed)
         cls = NPARun if self.driver == "npa" else HPARun
         run = cls(prep.db, self.build_config(prep))
         for t, idx in self.shortages:

@@ -190,6 +190,7 @@ class ResultStore:
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         os.replace(tmp, entry)
         self.writes += 1
+        self._count("result_store_writes")
         return entry
 
     def __contains__(self, scenario: "Scenario") -> bool:
@@ -212,6 +213,30 @@ class ResultStore:
             "entries": len(self),
             "path": str(self.path),
         }
+
+    def entry_stats(self) -> "list[dict]":
+        """Per-entry sizes, sorted by content address: one
+        ``{"key", "bytes", "scenario"}`` dict per stored result (the
+        ``repro-bench --store-stats`` rows).  The scenario summary comes
+        from the entry's self-describing payload; unreadable or partial
+        files are skipped rather than reported."""
+        rows: "list[dict]" = []
+        for entry in sorted(self.path.glob("*.json")):
+            try:
+                size = entry.stat().st_size
+                payload = json.loads(entry.read_text())
+                scenario = payload.get("scenario", {})
+            except (OSError, ValueError):
+                continue
+            rows.append({
+                "key": entry.stem,
+                "bytes": size,
+                "scenario": {
+                    k: scenario.get(k)
+                    for k in ("driver", "scale", "pager", "paper_mb", "seed")
+                },
+            })
+        return rows
 
 
 # ---------------------------------------------------------------------------

@@ -95,11 +95,20 @@ def test_apply_updates_unknown_line_rejected():
         store.apply_updates(0, [(9, (1, 2), 1)])
 
 
-def test_apply_increment_unknown_itemset_rejected():
+def test_apply_increment_unknown_itemset_upserts():
+    """Migrations can requeue in-flight records to a line's new holder,
+    delivering an increment ahead of the insert it logically follows —
+    application must be an order-independent upsert."""
     node, store = make_store()
     store.put(0, line_with(1, [(1, 2)]))
-    with pytest.raises(SwapError):
-        store.apply_updates(0, [(1, (9, 9), 3)])
+    before = node.memory.used_bytes
+    store.apply_updates(0, [(1, (9, 9), 3)])
+    assert store.peek(0, 1).counts[(9, 9)] == 3
+    assert node.memory.used_bytes == before + 24
+    # The late insert lands afterwards: count and allocation unchanged.
+    store.apply_updates(0, [(1, (9, 9), 0)])
+    assert store.peek(0, 1).counts[(9, 9)] == 3
+    assert node.memory.used_bytes == before + 24
 
 
 def test_guest_bytes_and_clear():

@@ -45,3 +45,38 @@ def test_report_bytes_survive_hash_randomization(tmp_path):
     bytes_b = b.read_bytes()
     assert bytes_a, "empty report"
     assert bytes_a == bytes_b
+
+
+def _run_statistical_report(hashseed: str, out_dir: Path) -> "list[Path]":
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.analysis.report.cli",
+            "--scale", "tiny", "--seeds", "2", "--only", "policy,table2",
+            "--out", str(out_dir),
+        ],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    files = [out_dir / f"report.{ext}" for ext in ("md", "html", "json")]
+    for f in files:
+        assert f.is_file(), sorted(out_dir.iterdir())
+    return files
+
+
+def test_statistical_report_bytes_survive_hash_randomization(tmp_path):
+    """The multi-seed report (aggregation, bootstrap CIs, rank tests,
+    markdown/HTML rendering) is a pure function of (scale, seeds) —
+    including under interpreter hash randomisation."""
+    files_a = _run_statistical_report("0", tmp_path / "seed0")
+    files_b = _run_statistical_report("1", tmp_path / "seed1")
+    for a, b in zip(files_a, files_b):
+        bytes_a = a.read_bytes()
+        assert bytes_a, f"empty {a.name}"
+        assert bytes_a == b.read_bytes(), a.name
