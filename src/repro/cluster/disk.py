@@ -59,7 +59,7 @@ class Disk:
         service = self.spec.access_time_s(size_bytes, sequential=sequential)
         with self._arm.request() as grant:
             yield grant
-            yield self.env.timeout(service)
+            yield self.env.sleep(service)
         self.stats.busy_time_s += service
         if write:
             self.stats.writes += 1

@@ -148,7 +148,7 @@ class Network:
             ingress = self._ingress[msg.dst].request()
             yield ingress
             try:
-                yield self.env.timeout(tx_time)
+                yield self.env.sleep(tx_time)
             finally:
                 self._egress[msg.src].release(egress)
                 self._ingress[msg.dst].release(ingress)
@@ -168,7 +168,7 @@ class Network:
                 continue
             break
 
-        yield self.env.timeout(self.nic.one_way_latency_s)
+        yield self.env.sleep(self.nic.one_way_latency_s)
         msg.deliver_time = self.env.now
         self.stats.record(msg, wire_bytes)
         if self.bus is not None:

@@ -66,7 +66,7 @@ class Node:
         scaled = seconds / self.spec.cpu.speed_factor
         with self.cpu.request() as grant:
             yield grant
-            yield self.env.timeout(scaled)
+            yield self.env.sleep(scaled)
         self.stats.cpu_busy_s += scaled
         self.stats.compute_calls += 1
 

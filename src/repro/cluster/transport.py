@@ -69,8 +69,8 @@ class Mailbox(Store):
         done = super()._do_put(event)
         # Count each put at most once, however many settlement rounds it
         # spends waiting for room.
-        if not done and not getattr(event, "_mailbox_counted", False):
-            event._mailbox_counted = True  # type: ignore[attr-defined]
+        if not done and not event._blocked_once:
+            event._blocked_once = True
             self.blocked_puts += 1
         return done
 

@@ -31,6 +31,16 @@ class ReplacementPolicy(ABC):
     def touch(self, line_id: int) -> None:
         """A resident line was accessed."""
 
+    def touch_batch(self, line_ids: "list[int]") -> None:
+        """Touch several distinct resident lines in one call.
+
+        ``line_ids`` must hold each line once, ordered so the *last*
+        element ends up most recently used — i.e. distinct lines in
+        last-occurrence order of the access run being folded.
+        """
+        for line_id in line_ids:
+            self.touch(line_id)
+
     @abstractmethod
     def remove(self, line_id: int) -> None:
         """A line left residency by other means (e.g. explicit drop)."""
@@ -69,6 +79,14 @@ class LRUPolicy(ReplacementPolicy):
         if line_id not in self._order:
             raise SwapError(f"touch of non-resident line {line_id}")
         self._order.move_to_end(line_id)
+
+    def touch_batch(self, line_ids: "list[int]") -> None:
+        order = self._order
+        move = order.move_to_end
+        for line_id in line_ids:
+            if line_id not in order:
+                raise SwapError(f"touch of non-resident line {line_id}")
+            move(line_id)
 
     def remove(self, line_id: int) -> None:
         if line_id not in self._order:

@@ -317,20 +317,21 @@ class RemoteUpdatePager(RemoteMemoryPager):
     def buffer_update(self, line_id: int, itemset: Itemset, delta: int) -> Optional[Generator]:
         """Queue one update; returns a generator only when a message-block
         flush is due (the caller drives it), else ``None``."""
-        loc = self.table.location(line_id)
-        if loc.state is LineState.MIGRATING:
+        code = self.table.state_code(line_id)
+        if code == MemoryManagementTable.MIGRATING:
             self._held.append((line_id, itemset, delta))
             self.stats.updates_sent += 1
             return None
-        if loc.state is not LineState.REMOTE_FIXED:
+        if code != MemoryManagementTable.REMOTE_FIXED:
             raise SwapError(
-                f"update for line {line_id} in state {loc.state.value}"
+                f"update for line {line_id} in state {self.table.state(line_id).value}"
             )
-        buf = self._buffers.setdefault(loc.node_id, [])
+        holder = self.table.holder_of(line_id)
+        buf = self._buffers.setdefault(holder, [])
         buf.append((line_id, itemset, delta))
         self.stats.updates_sent += 1
         if len(buf) >= self.cost.updates_per_message():
-            return self._flush(loc.node_id)
+            return self._flush(holder)
         return None
 
     def _flush(self, holder: int) -> Generator:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
+import numpy as np
+
 from repro.analysis.cost_model import CostModel
 from repro.core.memory_table import LineState, MemoryManagementTable
 from repro.core.pager import Pager
@@ -32,7 +34,35 @@ from repro.mining.itemsets import ITEMSET_BYTES, Itemset
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.node import Node
 
-__all__ = ["SwapManager", "SwapManagerStats"]
+__all__ = ["SpanIndex", "SwapManager", "SwapManagerStats"]
+
+
+class SpanIndex:
+    """Vectorised side ledger for resident-span counting.
+
+    ``codes`` is the sorted array of every candidate code owned by this
+    node; ``items``/``lines`` are the decoded itemsets and hash-line ids
+    aligned with it.  Counted spans pile up raw in ``pending`` and are
+    folded into the hash-line dicts by
+    :meth:`SwapManager.flush_span_counts` before any count is read.
+    Count *values* live host-side regardless of where the simulated line
+    bytes currently sit, so deferring the dict writes is unobservable.
+    """
+
+    __slots__ = ("codes", "items", "lines", "n_items", "pending")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        items: "list[Itemset]",
+        lines: np.ndarray,
+        n_items: int,
+    ) -> None:
+        self.codes = codes
+        self.items = items
+        self.lines = lines
+        self.n_items = n_items
+        self.pending: list[np.ndarray] = []
 
 
 @dataclass
@@ -83,6 +113,9 @@ class SwapManager:
         #: duplicated candidates); they count against the usage limit but
         #: can never be evicted.
         self.pinned_bytes = 0
+        #: Attached lazily by the counting kernel on the first resident
+        #: span (see :meth:`count_span_codes`).
+        self.span_index: Optional[SpanIndex] = None
 
     # -- introspection ------------------------------------------------------
 
@@ -109,14 +142,14 @@ class SwapManager:
         (remote insert record).
         """
         self.stats.inserts += 1
-        state = self.mm_table.state(line_id)
-        if state is LineState.RESIDENT:
+        state = self.mm_table.state_code(line_id)
+        if state == MemoryManagementTable.RESIDENT:
             self._insert_resident(itemset, line_id)
             if self.over_limit:
                 # Never evict the line we are actively inserting into.
                 self._make_room(pinned=line_id)
             return None
-        if state in (LineState.REMOTE_FIXED, LineState.MIGRATING) and (
+        if state in (MemoryManagementTable.REMOTE_FIXED, MemoryManagementTable.MIGRATING) and (
             self.pager is not None and self.pager.supports_remote_update
         ):
             return self.pager.buffer_update(line_id, itemset, 0)
@@ -148,8 +181,8 @@ class SwapManager:
         :class:`MiningError` because it means routing is broken.
         """
         self.stats.counts += 1
-        state = self.mm_table.state(line_id)
-        if state is LineState.RESIDENT:
+        state = self.mm_table.state_code(line_id)
+        if state == MemoryManagementTable.RESIDENT:
             line = self.table.get(line_id)
             if line is None or not line.increment(itemset):
                 raise MiningError(
@@ -159,7 +192,7 @@ class SwapManager:
             self.policy.touch(line_id)
             self.stats.fast_counts += 1
             return None
-        if state in (LineState.REMOTE_FIXED, LineState.MIGRATING) and (
+        if state in (MemoryManagementTable.REMOTE_FIXED, MemoryManagementTable.MIGRATING) and (
             self.pager is not None and self.pager.supports_remote_update
         ):
             self.stats.remote_counts += 1
@@ -189,6 +222,109 @@ class SwapManager:
         self.policy.touch(line_id)
         self.stats.fast_counts += n
 
+    def count_resident_batch(
+        self, itemsets: "list[Itemset]", line_ids: "list[int]"
+    ) -> None:
+        """Count a run of occurrences that all land on resident lines.
+
+        Only valid while every named line is resident and control cannot
+        leave the caller (between simulation yields): no eviction can
+        observe the replacement policy mid-run, so touching each distinct
+        line once — in order of its *last* occurrence — leaves the policy
+        in exactly the per-occurrence end state, and statistics advance
+        by the same totals.
+        """
+        get = self.table.get
+        for itemset, line_id in zip(itemsets, line_ids):
+            line = get(line_id)
+            if line is None or not line.increment(itemset):
+                raise MiningError(
+                    f"itemset {itemset} routed to line {line_id} is not a "
+                    f"candidate there"
+                )
+        # dict.fromkeys(reversed(...)) keeps distinct lines in
+        # last-occurrence-first order; reversing touches oldest first.
+        self.policy.touch_batch(
+            list(reversed(dict.fromkeys(reversed(line_ids))))
+        )
+        n = len(line_ids)
+        self.stats.counts += n
+        self.stats.fast_counts += n
+
+    def count_span_codes(self, codes: np.ndarray, line_ids: np.ndarray) -> None:
+        """Vectorised :meth:`count_resident_batch` over encoded candidates.
+
+        Same validity conditions (all lines resident, no simulation yield
+        across the run); ``codes`` are the kernel's dense pair codes and
+        ``line_ids`` the aligned hash lines.  The dict writes — and the
+        per-occurrence "is a candidate on this line" membership check,
+        which flush performs against the owner's sorted code array,
+        raising the per-occurrence path's identical
+        :class:`MiningError` — are deferred wholesale: the span's codes
+        are stashed raw and folded in one vectorised pass before any
+        count is read (see :meth:`flush_span_counts`).  Only what the
+        simulation *can* observe mid-pass happens now: replacement-policy
+        touches and statistics.
+        """
+        index = self.span_index
+        assert index is not None
+        index.pending.append(codes)
+        # Same touch ceremony as count_resident_batch: each distinct line
+        # once, ordered by last occurrence.
+        self.policy.touch_batch(
+            list(reversed(dict.fromkeys(reversed(line_ids.tolist()))))
+        )
+        n = codes.size
+        self.stats.counts += n
+        self.stats.fast_counts += n
+
+    def flush_span_counts(self) -> None:
+        """Fold deferred span counts back into the hash-line dicts.
+
+        Host-side only (no simulated cost); runs before any path that
+        reads counts — :meth:`drain` and :meth:`iter_all_lines` — and is
+        idempotent.  Lines are reached through the table registry so
+        counts land even on lines currently swapped out (their objects
+        persist through the pagers).
+        """
+        index = self.span_index
+        if index is None or not index.pending:
+            return
+        codes = (
+            index.pending[0]
+            if len(index.pending) == 1
+            else np.concatenate(index.pending)
+        )
+        index.pending = []
+        pos = np.searchsorted(index.codes, codes)
+        valid = pos < index.codes.size
+        np.logical_and(
+            valid,
+            index.codes[np.minimum(pos, index.codes.size - 1)] == codes,
+            out=valid,
+        )
+        if not valid.all():
+            i = int(np.argmin(valid))
+            bad = int(codes[i])
+            itemset = (bad // index.n_items, bad % index.n_items)
+            raise MiningError(
+                f"itemset {itemset} routed to line "
+                f"{int(index.lines[min(int(pos[i]), index.lines.size - 1)])} "
+                f"is not a candidate there"
+            )
+        acc = np.bincount(pos, minlength=index.codes.size)
+        hot = np.flatnonzero(acc)
+        items, lines = index.items, index.lines
+        find = self.table.line_anywhere
+        for i in hot.tolist():
+            itemset = items[i]
+            line = find(int(lines[i]))
+            if not line.increment(itemset, by=int(acc[i])):
+                raise MiningError(
+                    f"itemset {itemset} routed to line {line.line_id} is not "
+                    f"a candidate there"
+                )
+
     def _count_slow(self, itemset: Itemset, line_id: int) -> Generator:
         yield from self._ensure_resident(line_id)
         line = self.table.get(line_id)
@@ -209,7 +345,7 @@ class SwapManager:
         (the line may even have been evicted again, hence the loop).
         """
         assert self.pager is not None
-        while self.mm_table.state(line_id) is not LineState.RESIDENT:
+        while not self.mm_table.is_resident(line_id):
             pending = self._faulting.get(line_id)
             if pending is not None:
                 yield pending
@@ -271,6 +407,7 @@ class SwapManager:
         through the pager (paying the fetch cost) without changing
         residency.  Returns a list of :class:`HashLine`.
         """
+        self.flush_span_counts()
         lines: list[HashLine] = list(self.table)
         for line_id in self.mm_table.non_resident_lines():
             state = self.mm_table.state(line_id)
@@ -286,6 +423,7 @@ class SwapManager:
     def drain(self) -> Generator:
         """Settle outstanding pager work (eviction transfers, update
         flushes) before reading counts."""
+        self.flush_span_counts()
         alive = [p for p in self._evictions if p.is_alive]
         if alive:
             yield self.node.env.all_of(alive)
@@ -300,6 +438,7 @@ class SwapManager:
         self.policy.clear()
         self.resident_bytes = 0
         self.pinned_bytes = 0
+        self.span_index = None
         if self.pager is not None:
             self.pager.reset_pass()
 

@@ -27,7 +27,13 @@ from repro.mining.hpa import HPAConfig, HPAResult, HPARun
 from repro.harness.scales import prepare_workload
 from repro.harness.wallclock import PhaseWallClock
 
-__all__ = ["result_hash", "run_hotpath", "write_hotpath_json", "render_hotpath"]
+__all__ = [
+    "result_hash",
+    "dominant_phase",
+    "run_hotpath",
+    "write_hotpath_json",
+    "render_hotpath",
+]
 
 #: Acceptance target: wall-clock speedup of the pass-2 counting phase at
 #: the default benchmark scale.
@@ -69,6 +75,18 @@ def result_hash(res: HPAResult) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
+def dominant_phase(phases: "dict[str, float]") -> str:
+    """Name of the pass-2 phase with the largest host wall share.
+
+    Returns ``"candgen"`` / ``"counting"`` / ``"determine"``.  On the
+    vectorized kernel the answer should be ``"counting"`` — when candidate
+    generation overtakes it, the kernel work has been optimized past the
+    point where the harness around it is the bottleneck, and further
+    kernel tuning is wasted effort (the bench warns on this).
+    """
+    return max(phases, key=lambda name: phases[name]).removesuffix("_wall_s")
+
+
 def _one_run(scale_name: str, kernel: str) -> dict:
     prep = prepare_workload(scale_name)
     s = prep.scale
@@ -86,10 +104,12 @@ def _one_run(scale_name: str, kernel: str) -> dict:
     res = run.run()
     wall_s = time.perf_counter() - start
     p2 = res.pass_result(2)
+    phases = profiler.pass_walls(2)
     return {
         "kernel": kernel,
         "wall_s": wall_s,
-        "phases": profiler.pass_walls(2),
+        "phases": phases,
+        "dominant_phase": dominant_phase(phases),
         "sim_pass2_s": p2.duration_s,
         "count_messages": p2.count_messages,
         "n_large": len(res.large_itemsets),
@@ -119,6 +139,7 @@ def run_hotpath(scale_name: str = "small") -> dict:
         "runs": {"naive": naive, "vector": vector},
         "counting_speedup": counting_speedup,
         "total_speedup": total_speedup,
+        "dominant_phase": vector["dominant_phase"],
         "equivalent": naive["result_hash"] == vector["result_hash"],
     }
 
@@ -147,5 +168,14 @@ def render_hotpath(data: dict) -> str:
         f" (naive {naive['sim_pass2_s']:.4f}s — must be identical)",
         f"  result hash: {'MATCH' if data['equivalent'] else 'MISMATCH'}"
         f" ({vector['result_hash'][:16]}…)",
+        f"  dominant pass-2 phase (vector): {data['dominant_phase']}",
     ]
+    walls = vector["phases"]
+    if walls["candgen_wall_s"] > walls["counting_wall_s"]:
+        lines.append(
+            "  WARNING: candidate generation "
+            f"({walls['candgen_wall_s']:.3f}s) now outweighs counting "
+            f"({walls['counting_wall_s']:.3f}s) — the counting kernel is "
+            "no longer the bottleneck at this scale"
+        )
     return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""``repro-bench --profile``: cProfile a named scenario.
+
+Kernel work should start from data, not intuition: this runs one
+scenario from the runtime catalogue under :mod:`cProfile` and reports
+the top-N hot spots sorted by *cumulative* time — the view that exposes
+which layer of the stack (engine step loop, resource dispatch, swap
+manager, counting kernel) owns the wall clock.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Optional
+
+from repro.errors import ConfigError, HarnessError
+
+__all__ = ["profile_scenario", "render_profile"]
+
+
+def profile_scenario(name: str, top_n: int = 25, seed: Optional[int] = None) -> dict:
+    """Run scenario ``name`` under cProfile; return a JSON-able report.
+
+    The scenario result cache is bypassed (a cached hit would profile a
+    dictionary lookup).  Entries are sorted by cumulative time.
+    """
+    from repro.runtime import get_scenario, run_scenario
+
+    try:
+        scenario = get_scenario(name)
+    except ConfigError as exc:
+        raise HarnessError(
+            f"unknown scenario {name!r}; repro-bench --list-scenarios "
+            "shows the catalogue"
+        ) from exc
+    if seed is not None:
+        scenario = scenario.with_seed(seed)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = run_scenario(scenario, cache=False)
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    entries = []
+    for func in stats.fcn_list[:top_n]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, lineno, funcname = func
+        entries.append(
+            {
+                "function": funcname,
+                "file": filename,
+                "line": lineno,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    total_tt = sum(row[2] for row in stats.stats.values())  # type: ignore[attr-defined]
+    return {
+        "scenario": name,
+        "driver": scenario.driver,
+        "scale": scenario.scale,
+        "seed": scenario.seed,
+        "sort": "cumulative",
+        "top_n": top_n,
+        "total_time_s": round(total_tt, 6),
+        "sim_time_s": result.total_time_s,
+        "hotspots": entries,
+    }
+
+
+def render_profile(data: dict) -> str:
+    """One-line-per-hotspot text view of :func:`profile_scenario` output."""
+    lines = [
+        f"profile of scenario {data['scenario']} "
+        f"({data['total_time_s']:.2f}s host, {data['sim_time_s']:.2f}s simulated)",
+        f"  {'cumtime':>9s} {'tottime':>9s} {'ncalls':>10s}  function",
+    ]
+    for h in data["hotspots"]:
+        lines.append(
+            f"  {h['cumtime_s']:>9.3f} {h['tottime_s']:>9.3f} "
+            f"{h['ncalls']:>10d}  {h['function']} "
+            f"({h['file']}:{h['line']})"
+        )
+    return "\n".join(lines)

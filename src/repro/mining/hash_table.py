@@ -70,11 +70,18 @@ class CandidateHashTable:
 
     def __init__(self) -> None:
         self._lines: dict[int, HashLine] = {}
+        # Every line object ever created/installed, keyed by id; survives
+        # pop() so deferred count ledgers can reach swapped-out lines
+        # (line objects keep their identity while travelling through
+        # pagers — stores hold references, not copies).
+        self._registry: dict[int, HashLine] = {}
 
     def line(self, line_id: int) -> HashLine:
         """The line with ``line_id``, created empty on first touch."""
         if line_id not in self._lines:
-            self._lines[line_id] = HashLine(line_id)
+            line = HashLine(line_id)
+            self._lines[line_id] = line
+            self._registry[line_id] = line
         return self._lines[line_id]
 
     def get(self, line_id: int) -> Optional[HashLine]:
@@ -92,6 +99,16 @@ class CandidateHashTable:
         if line.line_id in self._lines:
             raise MiningError(f"hash line {line.line_id} already present")
         self._lines[line.line_id] = line
+        self._registry.setdefault(line.line_id, line)
+
+    def line_anywhere(self, line_id: int) -> HashLine:
+        """The line object wherever it currently lives (resident or
+        swapped out).  Host-side lookup only — pays no simulated cost and
+        must not replace :meth:`get` on paths that model residency."""
+        line = self._registry.get(line_id)
+        if line is None:
+            raise MiningError(f"hash line {line_id} was never created here")
+        return line
 
     def __contains__(self, line_id: int) -> bool:
         return line_id in self._lines
@@ -127,3 +144,4 @@ class CandidateHashTable:
     def clear(self) -> None:
         """Drop all lines (end of pass)."""
         self._lines.clear()
+        self._registry.clear()

@@ -484,21 +484,32 @@ class HPARun(MiningDriver):
     def _sender_pairs_ordered(
         self, a: int, kernel: CountingKernel, l1_mask, dup_counts
     ) -> Generator:
-        """k == 2 sender with a pager: vectorized generation and routing,
-        per-occurrence counting loop preserved.
+        """k == 2 sender with a pager: merge-walk over simulation events.
 
-        Pagefaults and LRU touches depend on occurrence order, so every
-        local count still goes through ``mgr.count_itemset`` in emission
-        order; only the subset generation and route lookups are batched.
+        The per-occurrence walk only has to stop where simulated time can
+        advance — a full remote buffer flushing, or a local occurrence on
+        a non-resident line faulting.  Both event kinds sit at computable
+        positions in the block's emission order (flush positions are
+        static; the next fault is the first non-resident local line, and
+        residency only changes across yields), so everything between two
+        events is batched: duplicated-candidate folds are order-free,
+        resident local runs go through ``count_resident_batch``, and
+        remote occurrences are carried as array slices that concatenate
+        into exactly the payloads the per-occurrence walk would build.
         """
         n_messages = 0
         part = self.partitions[a]
         node = self.cluster[a]
         mgr = self.managers[a]
+        mm = mgr.mm_table
         cost = self.config.cost
         window = SendWindow(self.env, self.config.send_window)
         items_per_msg = max(1, cost.message_block_bytes // ITEMSET_BYTES)
-        buffers: dict[int, list] = {b: [] for b in self.app_ids if b != a}
+        pair_of = kernel.pair_of
+        dests = [b for b in self.app_ids if b != a]
+        # Unflushed slices (and their total length) per destination.
+        carry: dict[int, list[np.ndarray]] = {b: [] for b in dests}
+        fill: dict[int, int] = {b: 0 for b in dests}
         offsets = part.offsets
 
         for i, j in self._sender_blocks(a):
@@ -509,33 +520,109 @@ class HPARun(MiningDriver):
             generated = int(codes.size)
             local_counted = 0
             if generated:
-                owners = kernel.owners_of(codes).tolist()
-                lines = kernel.lines_of(codes).tolist()
-                pairs = kernel.decode_pairs(codes)
-                code_list = codes.tolist()
-                for idx in range(generated):
-                    owner = owners[idx]
+                owners = kernel.owners_of(codes)
+                # Occurrence indices grouped by owner, emission order kept
+                # within each group (stable sort).
+                order = np.argsort(owners, kind="stable")
+                grp_vals, starts = np.unique(owners[order], return_index=True)
+                groups = np.split(order, starts[1:])
+                loc_pos: Optional[np.ndarray] = None
+                streams: dict[int, np.ndarray] = {}
+                flushes: list[tuple[int, int, int]] = []  # (occ idx, owner, stream idx)
+                for owner, pos in zip(grp_vals.tolist(), groups):
                     if owner == OWNER_DUPLICATED:
-                        dup_counts[pairs[idx]] += 1
-                        local_counted += 1
+                        # Folds into a pre-keyed dict and never yields:
+                        # unobservable in virtual time, so fold up front.
+                        u, cnt = np.unique(codes[pos], return_counts=True)
+                        for c, n_dup in zip(u.tolist(), cnt.tolist()):
+                            dup_counts[pair_of(c)] += n_dup
+                        local_counted += len(pos)
                     elif owner == a:
-                        op = mgr.count_itemset(pairs[idx], lines[idx])
+                        loc_pos = pos
+                        local_counted += len(pos)
+                    else:
+                        streams[owner] = pos
+                        first = items_per_msg - fill[owner] - 1
+                        for si in range(first, len(pos), items_per_msg):
+                            flushes.append((int(pos[si]), owner, si))
+                flushes.sort()
+                sent: dict[int, int] = {b: 0 for b in streams}  # consumed stream prefix
+
+                if loc_pos is not None:
+                    loc_codes = codes[loc_pos]
+                    loc_lines = kernel.lines_of(loc_codes)
+                    lmask = mm.resident_mask(loc_lines)
+                    n_loc = len(loc_pos)
+                else:
+                    loc_codes = loc_lines = lmask = None
+                    n_loc = 0
+
+                li = 0  # next unprocessed local occurrence
+                fi = 0  # next flush event
+                while True:
+                    if li < n_loc:
+                        bad = np.flatnonzero(~lmask[li:])
+                        fault_li = li + int(bad[0]) if bad.size else None
+                    else:
+                        fault_li = None
+                    fault_idx = (
+                        int(loc_pos[fault_li]) if fault_li is not None else None
+                    )
+                    flush_idx = flushes[fi][0] if fi < len(flushes) else None
+                    if fault_idx is not None and (
+                        flush_idx is None or fault_idx < flush_idx
+                    ):
+                        if fault_li > li:
+                            mgr.count_resident_batch(
+                                kernel.decode_pairs(loc_codes[li:fault_li]),
+                                loc_lines[li:fault_li].tolist(),
+                            )
+                        op = mgr.count_itemset(
+                            pair_of(int(loc_codes[fault_li])),
+                            int(loc_lines[fault_li]),
+                        )
+                        li = fault_li + 1
                         if op is not None:
                             yield from op
-                        local_counted += 1
-                    else:
-                        buf = buffers[owner]
-                        buf.append(code_list[idx])
-                        if len(buf) >= items_per_msg:
-                            payload = np.array(buf, dtype=np.int64)
-                            del buf[:]
-                            n_messages += 1
-                            yield from window.post(
-                                self.cluster.transport.send(
-                                    a, owner, "count", payload,
-                                    cost.message_block_bytes,
+                            if li < n_loc:
+                                lmask[li:] = mm.resident_mask(loc_lines[li:])
+                    elif flush_idx is not None:
+                        if li < n_loc:
+                            hi = int(np.searchsorted(loc_pos, flush_idx))
+                            if hi > li:
+                                mgr.count_resident_batch(
+                                    kernel.decode_pairs(loc_codes[li:hi]),
+                                    loc_lines[li:hi].tolist(),
                                 )
+                                li = hi
+                        _, b, si = flushes[fi]
+                        fi += 1
+                        pos_b = streams[b]
+                        parts = carry[b] + [codes[pos_b[sent[b] : si + 1]]]
+                        payload = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                        carry[b] = []
+                        fill[b] = 0
+                        sent[b] = si + 1
+                        n_messages += 1
+                        yield from window.post(
+                            self.cluster.transport.send(
+                                a, b, "count", payload, cost.message_block_bytes
                             )
+                        )
+                        if li < n_loc:
+                            lmask[li:] = mm.resident_mask(loc_lines[li:])
+                    else:
+                        if li < n_loc:
+                            mgr.count_resident_batch(
+                                kernel.decode_pairs(loc_codes[li:]),
+                                loc_lines[li:].tolist(),
+                            )
+                        break
+                for b, pos_b in streams.items():
+                    if sent[b] < len(pos_b):
+                        tail = codes[pos_b[sent[b] :]]
+                        carry[b].append(tail)
+                        fill[b] += len(tail)
             cpu = (
                 cost.cpu_generate_per_itemset_s * generated
                 + cost.cpu_count_per_itemset_s * local_counted
@@ -543,16 +630,17 @@ class HPARun(MiningDriver):
             if cpu > 0:
                 yield from node.compute(cpu)
 
-        for b, buf in buffers.items():
-            if buf:
+        for b in dests:
+            if carry[b]:
+                parts = carry[b]
+                payload = parts[0] if len(parts) == 1 else np.concatenate(parts)
                 n_messages += 1
                 yield from window.post(
                     self.cluster.transport.send(
-                        a, b, "count", np.array(buf, dtype=np.int64),
-                        ITEMSET_BYTES * len(buf),
+                        a, b, "count", payload, ITEMSET_BYTES * len(payload)
                     )
                 )
-        for b in buffers:
+        for b in dests:
             yield from window.post(
                 self.cluster.transport.send(a, b, "count", _EOF, 16)
             )
@@ -657,11 +745,32 @@ class HPARun(MiningDriver):
                 if bulk:
                     pending.append(payload)
                     continue
-                lines = kernel.lines_of(payload).tolist()
-                for itemset, line in zip(kernel.decode_pairs(payload), lines):
-                    op = mgr.count_itemset(itemset, line)
-                    if op is not None:
-                        yield from op
+                # Pager present: batch each run of consecutive resident
+                # occurrences (no yields inside a run, so residency and
+                # policy state cannot change under us); every occurrence
+                # on a non-resident line still goes through the slow path
+                # singly, in arrival order, and may fault.
+                lines = kernel.lines_of(payload)
+                mm = mgr.mm_table
+                n_occ = len(payload)
+                mask = mm.resident_mask(lines)
+                i = 0
+                while i < n_occ:
+                    if mask[i]:
+                        rel = np.flatnonzero(~mask[i:])
+                        end = i + (int(rel[0]) if rel.size else n_occ - i)
+                        kernel.count_resident_span(mgr, payload[i:end], lines[i:end])
+                        i = end
+                    else:
+                        op = mgr.count_itemset(
+                            kernel.pair_of(int(payload[i])), int(lines[i])
+                        )
+                        i += 1
+                        if op is not None:
+                            # A fault ran: residency may have shifted.
+                            yield from op
+                            if i < n_occ:
+                                mask[i:] = mm.resident_mask(lines[i:])
             elif kernel is not None:
                 for itemset in payload:
                     line, _ = kernel.route_of(itemset)

@@ -41,6 +41,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.core.swap_manager import SpanIndex
 from repro.datagen.corpus import TransactionDatabase
 from repro.errors import MiningError
 from repro.mining.itemsets import Itemset
@@ -304,6 +305,9 @@ class CountingKernel:
         #: Items occurring in any candidate — transactions are restricted
         #: to this mask before subset generation (k >= 3 path).
         self.mask = item_mask(itemsets, n_items)
+        #: code -> itemset tuple, filled on demand (candidate codes only,
+        #: so this stays small and saturates within the first few blocks).
+        self._pair_cache: dict[int, Itemset] = {}
 
     # -- k == 2 dense path --------------------------------------------------
 
@@ -336,6 +340,43 @@ class CountingKernel:
         """Materialise pair tuples (Python ints) from codes."""
         first, second = divmod(codes, self.n_items)
         return list(zip(first.tolist(), second.tolist()))
+
+    def pair_of(self, code: int) -> Itemset:
+        """Cached single-code decode (hot on the pager-present paths)."""
+        cached = self._pair_cache.get(code)
+        if cached is None:
+            cached = (code // self.n_items, code % self.n_items)
+            self._pair_cache[code] = cached
+        return cached
+
+    def count_resident_span(self, mgr, codes: np.ndarray, lines: np.ndarray) -> None:
+        """Count one run of occurrences on all-resident lines into ``mgr``.
+
+        Valid only when every line in ``lines`` is resident and the
+        caller yields to no simulation event across the run (see
+        :meth:`SwapManager.count_resident_batch` for why that makes the
+        batch indistinguishable from the per-occurrence sequence).  On
+        first use the manager gets a :class:`SpanIndex` over every code
+        this node owns (all codes of one manager share one owner — the
+        routing that sent them here), and counts accumulate vectorised.
+        """
+        if codes.size == 0:
+            return
+        if mgr.span_index is None:
+            assert self.pair_owner is not None
+            mgr.span_index = self._build_span_index(int(self.pair_owner[codes[0]]))
+        mgr.count_span_codes(codes, lines)
+
+    def _build_span_index(self, owner: int) -> SpanIndex:
+        """Sorted owned-code array + decoded fold targets for one node."""
+        assert self.pair_owner is not None and self.pair_line is not None
+        owned = np.flatnonzero(self.pair_owner == owner).astype(np.int64)
+        return SpanIndex(
+            owned,
+            self.decode_pairs(owned),
+            self.pair_line[owned].astype(np.int64),
+            self.n_items,
+        )
 
     # -- k >= 3 / sparse path -----------------------------------------------
 

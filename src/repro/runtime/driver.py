@@ -50,11 +50,16 @@ class SendWindow:
 
     def post(self, gen: Generator) -> Generator:
         """Launch ``gen`` as a process once a window slot frees up."""
-        self._inflight = [p for p in self._inflight if p.is_alive]
-        while len(self._inflight) >= self.limit:
-            yield self.env.any_of(self._inflight)
-            self._inflight = [p for p in self._inflight if p.is_alive]
-        self._inflight.append(self.env.process(gen))
+        inflight = self._inflight
+        if len(inflight) >= self.limit:
+            # Compact lazily: dead entries only matter once the window
+            # looks full, and any_of must never see an already-dead
+            # process.
+            inflight[:] = [p for p in inflight if p.is_alive]
+            while len(inflight) >= self.limit:
+                yield self.env.any_of(inflight)
+                inflight[:] = [p for p in inflight if p.is_alive]
+        inflight.append(self.env.process(gen))
 
     def drain(self) -> Generator:
         """Wait for every posted send to finish."""

@@ -56,7 +56,12 @@ class Event:
     *triggered* (given a value and scheduled), and *processed* (its
     callbacks have run).  Events may succeed with a value or fail with an
     exception; a failed event re-raises inside every process waiting on it.
+
+    Events are the kernel's unit allocation; ``__slots__`` throughout the
+    hierarchy keeps them dict-free.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_pooled")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -66,6 +71,9 @@ class Event:
         self._value: object = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        #: ``True`` only for Environment.sleep() timeouts, which the
+        #: engine recycles after processing.
+        self._pooled: bool = False
 
     @property
     def triggered(self) -> bool:
@@ -99,11 +107,13 @@ class Event:
 
         Returns the event so calls can be chained/scheduled inline.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Inlined env.schedule(self): zero delay at NORMAL priority always
+        # lands on the now-lane (succeed is the kernel's hottest trigger).
+        self.env._normal.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -127,7 +137,7 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        self.env._normal.append(self)  # inlined zero-delay NORMAL schedule
 
     def __and__(self, other: "Event") -> "Condition":
         return Condition(self.env, Condition.all_events, [self, other])
@@ -142,6 +152,8 @@ class Event:
 
 class Timeout(Event):
     """An event that triggers ``delay`` units of simulated time after creation."""
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: object = None) -> None:
         if delay < 0:
@@ -164,6 +176,8 @@ class ConditionValue:
     Behaves like a read-only dict keyed by the original event objects, in
     the order the condition listed them.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []
@@ -212,6 +226,8 @@ class Condition(Event):
     the condition's value is a :class:`ConditionValue` of every *leaf*
     event that has triggered at evaluation time.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -275,12 +291,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that triggers once *all* of ``events`` have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that triggers once *any* of ``events`` has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_event, events)

@@ -25,6 +25,8 @@ ProcessGenerator = Generator[Event, object, object]
 class Initialize(Event):
     """Urgent event used to start a process at the current simulation time."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -35,6 +37,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Urgent event that throws :class:`~repro.errors.Interrupt` into a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: object) -> None:
         super().__init__(process.env)
@@ -69,6 +73,8 @@ class Process(Event):
     The process event triggers with the generator's return value once the
     generator finishes, or fails with the exception that escaped it.
     """
+
+    __slots__ = ("_generator", "_target", "name")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "throw"):

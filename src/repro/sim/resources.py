@@ -8,10 +8,11 @@ order; :class:`PriorityResource` lets urgent requests jump the queue.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
 from typing import TYPE_CHECKING
 
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Environment
@@ -25,6 +26,8 @@ class Request(Event):
     Usable as a context manager: leaving the ``with`` block releases the
     resource (or cancels the request if it never succeeded).
     """
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
@@ -44,6 +47,8 @@ class Request(Event):
 
 class Release(Event):
     """Event representing the hand-back of a granted :class:`Request`."""
+
+    __slots__ = ("request",)
 
     def __init__(self, resource: "Resource", request: Request) -> None:
         super().__init__(resource.env)
@@ -65,7 +70,15 @@ class Resource:
         self.env = env
         self._capacity = capacity
         self.users: list[Request] = []
-        self.queue: list[Request] = []
+        self.queue: deque[Request] = deque()
+        # Recycled event objects: a request/release cycle is the kernel's
+        # most allocated pattern (two events per claim), and a finished
+        # event is indistinguishable from a fresh one once its trigger
+        # state is reset.  Requests return to the pool when their release
+        # is handled (the claim is provably over); releases are reused
+        # one-deep on the next release() once processed.
+        self._req_pool: list[Request] = []
+        self._last_release: "Release | None" = None
 
     @property
     def capacity(self) -> int:
@@ -79,11 +92,50 @@ class Resource:
 
     def request(self) -> Request:
         """Create (and possibly immediately grant) a claim on the resource."""
+        pool = self._req_pool
+        if pool:
+            req = pool.pop()
+            req.callbacks = []
+            req._defused = False
+            # Inlined _do_request + succeed: a recycled request is known
+            # untriggered (_ok stayed True), so the grant is a bare
+            # now-lane append.
+            if len(self.users) < self._capacity:
+                self.users.append(req)
+                req._value = None
+                self.env._normal.append(req)
+            else:
+                req._value = PENDING
+                self.queue.append(req)
+            return req
         return Request(self)
 
     def release(self, request: Request) -> Release:
         """Give back a previously granted claim."""
-        return Release(self, request)
+        rel = self._last_release
+        if rel is not None and rel.callbacks is None:
+            # The previous release was fully processed: reuse its event.
+            # Inlined _do_release + succeed (the recycled event is known
+            # untriggered; _ok stayed True).
+            rel.callbacks = []
+            rel._defused = False
+            rel.request = request
+            try:
+                self.users.remove(request)
+            except ValueError:
+                raise RuntimeError(
+                    f"{request!r} was not holding {self!r}"
+                ) from None
+            rel._value = None
+            self.env._normal.append(rel)
+            if self.queue:
+                self._grant_next()
+            if request.callbacks is None and type(request) is Request:
+                self._req_pool.append(request)
+            return rel
+        rel = Release(self, request)
+        self._last_release = rel
+        return rel
 
     # -- internals --------------------------------------------------------
 
@@ -95,20 +147,31 @@ class Resource:
             self.queue.append(request)
 
     def _do_release(self, release: Release) -> None:
+        request = release.request
         try:
-            self.users.remove(release.request)
+            self.users.remove(request)
         except ValueError:
             raise RuntimeError(
-                f"{release.request!r} was not holding {self!r}"
+                f"{request!r} was not holding {self!r}"
             ) from None
         release.succeed()
         self._grant_next()
+        if request.callbacks is None and type(request) is Request:
+            # The grant was processed and the claim is over: nothing can
+            # reach this event again, so it is safe to recycle.  Exotic
+            # paths (release of a triggered-but-unprocessed grant,
+            # priority subclasses) simply skip the pool.
+            self._req_pool.append(request)
 
     def _grant_next(self) -> None:
+        # One wake pass per release: grant every waiter a free unit can
+        # serve before control returns to the event loop.  Queued waiters
+        # are untriggered by invariant, so the grant inlines succeed().
         while self.queue and len(self.users) < self._capacity:
-            nxt = self.queue.pop(0)
+            nxt = self.queue.popleft()
             self.users.append(nxt)
-            nxt.succeed()
+            nxt._value = None
+            self.env._normal.append(nxt)
 
     def _cancel(self, request: Request) -> None:
         try:
@@ -125,6 +188,8 @@ class Resource:
 
 class PriorityRequest(Request):
     """Request carrying a priority; lower values are granted first."""
+
+    __slots__ = ("priority", "time")
 
     def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
         self.priority = priority

@@ -23,16 +23,24 @@ __all__ = ["StorePut", "StoreGet", "Store", "FilterStore", "PriorityStore", "Pri
 class StorePut(Event):
     """Pending insertion of ``item`` into a store (may block if bounded)."""
 
+    __slots__ = ("store", "item", "_blocked_once")
+
     def __init__(self, store: "Store", item: object) -> None:
         super().__init__(store.env)
         self.store = store
         self.item = item
+        #: Flag for backpressure accounting by bounded-store wrappers
+        #: (e.g. the cluster mailbox): lets "this put blocked at least
+        #: once" be counted exactly once across settlement rounds.
+        self._blocked_once = False
         store._put_queue.append(self)
         store._trigger()
 
 
 class StoreGet(Event):
     """Pending retrieval of one item from a store."""
+
+    __slots__ = ("store",)
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
@@ -107,31 +115,27 @@ class Store:
 
     def _trigger(self) -> None:
         # Alternate put/get settlement until neither side can progress.
+        # Each pass rebuilds the queue from its survivors instead of
+        # popping mid-list (quadratic under waiter floods); the scan
+        # visits waiters in exactly the original order, which fixes
+        # which get matches which item — and therefore the schedule.
         progressed = True
         while progressed:
             progressed = False
-            idx = 0
-            while idx < len(self._put_queue):
-                ev = self._put_queue[idx]
-                if ev.triggered:
-                    self._put_queue.pop(idx)
-                    progressed = True
-                elif self._do_put(ev):
-                    self._put_queue.pop(idx)
+            survivors: list[StorePut] = []
+            for put_ev in self._put_queue:
+                if put_ev.triggered or self._do_put(put_ev):
                     progressed = True
                 else:
-                    idx += 1
-            idx = 0
-            while idx < len(self._get_queue):
-                ev = self._get_queue[idx]
-                if ev.triggered:
-                    self._get_queue.pop(idx)
-                    progressed = True
-                elif self._do_get(ev):
-                    self._get_queue.pop(idx)
+                    survivors.append(put_ev)
+            self._put_queue[:] = survivors
+            get_survivors: list[StoreGet] = []
+            for get_ev in self._get_queue:
+                if get_ev.triggered or self._do_get(get_ev):
                     progressed = True
                 else:
-                    idx += 1
+                    get_survivors.append(get_ev)
+            self._get_queue[:] = get_survivors
 
     def __len__(self) -> int:
         return len(self.items)
@@ -150,6 +154,8 @@ _NOTHING = _Nothing()
 
 class FilterStoreGet(StoreGet):
     """Get event that only matches items satisfying ``filter_fn``."""
+
+    __slots__ = ("filter_fn",)
 
     def __init__(self, store: "FilterStore", filter_fn: Callable[[object], bool]) -> None:
         self.filter_fn = filter_fn

@@ -4,6 +4,7 @@ import json
 
 from repro.harness import cli
 from repro.harness.hotpath import (
+    dominant_phase,
     render_hotpath,
     result_hash,
     run_hotpath,
@@ -26,6 +27,26 @@ def test_run_hotpath_tiny_equivalent():
     assert data["counting_speedup"] > 0
     # Rendering mentions the verdict the CI job keys on.
     assert "MATCH" in render_hotpath(data)
+
+
+def test_dominant_phase():
+    assert dominant_phase(
+        {"candgen_wall_s": 0.1, "counting_wall_s": 0.7, "determine_wall_s": 0.2}
+    ) == "counting"
+    assert dominant_phase(
+        {"candgen_wall_s": 0.9, "counting_wall_s": 0.7, "determine_wall_s": 0.2}
+    ) == "candgen"
+
+
+def test_dominant_phase_in_payload_and_warning():
+    data = run_hotpath("tiny")
+    assert data["dominant_phase"] in {"candgen", "counting", "determine"}
+    for run in data["runs"].values():
+        assert run["dominant_phase"] in {"candgen", "counting", "determine"}
+    # Force the candgen > counting condition and check the rendered warning.
+    walls = data["runs"]["vector"]["phases"]
+    walls["candgen_wall_s"] = walls["counting_wall_s"] + 1.0
+    assert "WARNING: candidate generation" in render_hotpath(data)
 
 
 def test_result_hash_sensitive_to_results():

@@ -44,8 +44,21 @@ def test_run_until_time_stops_early():
 
 def test_run_until_time_in_past_raises():
     env = Environment(initial_time=10.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(EmptySchedule, match=r"until=5\.0 \(now=10\.0\)"):
         env.run(until=5.0)
+
+
+def test_run_until_now_raises_empty_schedule():
+    # until == now would run zero events; same failure mode (and message
+    # shape) as stepping an empty schedule, not a bare ValueError.
+    env = Environment(initial_time=3.0)
+    with pytest.raises(EmptySchedule, match="no more events scheduled"):
+        env.run(until=3.0)
+    # The clock and schedule are untouched by the refused run.
+    assert env.now == 3.0
+    env.timeout(1.0)
+    env.run()
+    assert env.now == 4.0
 
 
 def test_run_until_event_returns_value():

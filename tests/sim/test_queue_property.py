@@ -1,0 +1,129 @@
+"""Property test: the lane-queue scheduler equals one global heap.
+
+The engine splits its schedule into O(1) now-lanes (per priority) plus a
+heap for genuinely future events.  The correctness claim — documented on
+:meth:`Environment.step` — is that the resulting dequeue order is
+*identical* to a single global ``heapq`` keyed by
+``(time, priority, insertion)``.  This test checks that claim against a
+reference model: random scheduling programs (including events that
+schedule more events from inside their callbacks, the case that populates
+the lanes) are executed on both and must process events in exactly the
+same order at exactly the same times.
+
+Delays are drawn from a tiny value set so same-time collisions — and
+same-time/same-priority floods, where only insertion order breaks ties —
+are the norm, not the exception.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptySchedule
+from repro.sim import Environment
+from repro.sim.events import NORMAL, URGENT, Event
+
+#: Few distinct delays → heavy same-time collision; 0.0 lands on the
+#: now-lanes when scheduled from a callback.
+_delays = st.sampled_from([0.0, 0.0, 0.25, 0.5, 1.0])
+_priorities = st.sampled_from([URGENT, NORMAL])
+
+#: A child spec: (delay, priority) scheduled from the parent's callback.
+_child = st.tuples(_delays, _priorities)
+
+#: A program: initial events, each optionally spawning children when
+#: processed.  Children scheduled at delay 0 exercise the lanes; children
+#: at the *same* future time as pending heap entries exercise the
+#: heap-wins-ties rule.
+_programs = st.lists(
+    st.tuples(_delays, _priorities, st.lists(_child, max_size=4)),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _reference_order(program):
+    """Dequeue order of a single global heap keyed by
+    ``(time, priority, insertion)`` — the SimPy-style oracle."""
+    seq = count()
+    heap = []
+    for i, (delay, prio, _children) in enumerate(program):
+        heapq.heappush(heap, (0.0 + delay, prio, next(seq), ("root", i)))
+    order = []
+    while heap:
+        at, _prio, _s, label = heapq.heappop(heap)
+        order.append((label, at))
+        if label[0] == "root":
+            for j, (delay, prio) in enumerate(program[label[1]][2]):
+                heapq.heappush(
+                    heap, (at + delay, prio, next(seq), ("child", label[1], j))
+                )
+    return order
+
+
+def _run_program(env: Environment, program, drive):
+    """Execute ``program`` on the real engine, recording processing order."""
+    order = []
+
+    def make_callback(label, children):
+        def callback(event: Event) -> None:
+            order.append((label, env.now))
+            for j, (delay, prio) in enumerate(children):
+                child = Event(env)
+                child._value = None  # triggered-successful, like succeed()
+                child.callbacks.append(make_callback(("child", label[1], j), ()))
+                env.schedule(child, priority=prio, delay=delay)
+
+        return callback
+
+    for i, (delay, prio, children) in enumerate(program):
+        event = Event(env)
+        event._value = None
+        event.callbacks.append(make_callback(("root", i), children))
+        env.schedule(event, priority=prio, delay=delay)
+    drive(env)
+    return order
+
+
+def _drive_run(env: Environment) -> None:
+    env.run()
+
+
+def _drive_step(env: Environment) -> None:
+    while True:
+        try:
+            env.step()
+        except EmptySchedule:
+            return
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=_programs)
+def test_run_loop_matches_global_heap(program):
+    order = _run_program(Environment(), program, _drive_run)
+    assert order == _reference_order(program)
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=_programs)
+def test_step_matches_global_heap(program):
+    order = _run_program(Environment(), program, _drive_step)
+    assert order == _reference_order(program)
+
+
+@given(
+    n=st.integers(2, 40),
+    prio=st.sampled_from([URGENT, NORMAL]),
+    delay=st.sampled_from([0.0, 0.5]),
+)
+@settings(max_examples=100, deadline=None)
+def test_same_time_same_priority_flood_is_fifo(n, prio, delay):
+    """A flood of identical (time, priority) events dequeues in pure
+    insertion order — the tie-break the lanes must preserve exactly."""
+    program = [(delay, prio, []) for _ in range(n)]
+    order = _run_program(Environment(), program, _drive_run)
+    assert order == [(("root", i), delay) for i in range(n)]
