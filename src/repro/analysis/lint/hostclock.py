@@ -9,7 +9,13 @@ stack smuggles nondeterministic wall-clock into those results: exactly the
 bug this PR evicted from ``repro.mining.hpa``/``npa``, where per-pass
 ``*_wall_s`` values flowed into cached results.  Only ``repro.harness``
 may measure host time (benchmarks, sweep accounting, the
-:class:`~repro.harness.wallclock.PhaseWallClock` profiler).
+:class:`~repro.harness.wallclock.PhaseWallClock` profiler, and the
+distributed-sweep plane: lease deadlines and idle timers in
+``repro.harness.sweep.queue``/``worker``, and ``--store-gc``'s file-age
+cutoff).  Runtime-layer helpers that need wall-clock semantics take the
+timestamp as a parameter instead —
+:meth:`~repro.runtime.store.ResultStore.gc` receives ``now`` from its
+harness-side caller — so this rule keeps holding below the harness.
 """
 
 from __future__ import annotations

@@ -6,12 +6,16 @@ Usage::
     repro-bench all --scale full     # every experiment, paper-like layout
     repro-bench all --jobs 4         # fan scenario runs out to 4 workers
     repro-bench all --resume         # reuse results persisted in .repro-store
+    repro-bench --worker --store DIR # drain the store's work queue (N hosts)
+    repro-bench --store-gc --store DIR   # compact entries + queue state
+    repro-bench --serve --store DIR      # read-only HTTP over the store
     repro-bench --list
 
 Each experiment prints the same rows/series the paper's table or figure
 reports, at the selected workload scale.  ``--jobs``/``--resume`` only
-change *how* scenarios are executed (worker processes, the persistent
-result store) — the printed reports are byte-identical either way.
+change *how* scenarios are executed (worker processes leasing cells
+from the store's work queue, the persistent result store) — the printed
+reports are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -164,12 +168,142 @@ def build_parser() -> argparse.ArgumentParser:
         "per-entry sizes as JSON on stdout (requires --store/--resume; "
         "with no experiment, just inspects the store)",
     )
+    parser.add_argument(
+        "--external-workers",
+        action="store_true",
+        help="with --jobs N: don't spawn local worker processes; rely "
+        "on repro-bench --worker processes attached to the same store "
+        "(the scheduler still drains whatever they don't lease)",
+    )
+    worker = parser.add_argument_group(
+        "worker mode", "drain the store's lease-based work queue "
+        "(run N of these against one shared --store, local or remote)"
+    )
+    worker.add_argument(
+        "--worker",
+        action="store_true",
+        help="run as a sweep worker: lease cells from the store's work "
+        "queue, execute, persist, release — until the queue stays idle",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="worker identity recorded on leases and completion "
+        "records (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="lease duration in seconds; a live worker renews, so only "
+        "a crashed worker's lease ever expires (default: 30)",
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="exit after S seconds without leasing anything "
+        "(default: 10; raise above --lease-ttl so a surviving worker "
+        "outlives and reclaims a crashed peer's lease)",
+    )
+    worker.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit as soon as the queue is completely empty instead of "
+        "lingering --idle-exit seconds for late-arriving work",
+    )
+    parser.add_argument(
+        "--store-gc",
+        action="store_true",
+        help="garbage-collect the result store: drop orphaned temp "
+        "files, old-format entries, stale leases, and completed queue "
+        "records; prints the JSON summary (requires --store/--resume)",
+    )
+    parser.add_argument(
+        "--gc-tmp-age",
+        type=float,
+        default=3600.0,
+        metavar="S",
+        help="with --store-gc: only remove temp files older than S "
+        "seconds (default: 3600 — younger ones may belong to a live "
+        "writer)",
+    )
+    serve = parser.add_argument_group(
+        "serve mode", "read-only HTTP over a warm store (never executes)"
+    )
+    serve.add_argument(
+        "--serve",
+        action="store_true",
+        help="answer scenario-key and sweep-report queries from the "
+        "store as JSON over HTTP (requires --store/--resume)",
+    )
+    serve.add_argument(
+        "--serve-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for --serve (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        metavar="N",
+        help="port for --serve (default: 8321; 0 picks a free port)",
+    )
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    store_dir = args.store
+    if args.resume and store_dir is None:
+        store_dir = ".repro-store"
+    if args.worker or args.store_gc or args.serve:
+        if store_dir is None:
+            mode = "--worker" if args.worker else (
+                "--store-gc" if args.store_gc else "--serve"
+            )
+            print(
+                f"repro-bench: {mode} needs a store (--store/--resume)",
+                file=sys.stderr,
+            )
+            return 2
+    if args.worker:
+        import json
+
+        from repro.harness.sweep.queue import default_worker_id
+        from repro.harness.sweep.worker import WorkerOptions, worker_loop
+        from repro.runtime import ResultStore
+
+        options = WorkerOptions(
+            worker_id=args.worker_id or default_worker_id(),
+            lease_ttl_s=args.lease_ttl,
+            idle_exit_s=args.idle_exit,
+            exit_when_empty=args.drain,
+        )
+        stats = worker_loop(ResultStore(store_dir), options)
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    if args.store_gc:
+        import json
+
+        from repro.harness.sweep.queue import store_gc
+        from repro.runtime import ResultStore
+
+        summary = store_gc(ResultStore(store_dir), tmp_age_s=args.gc_tmp_age)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if args.serve:
+        from repro.harness.sweep.serve import serve_store
+        from repro.runtime import ResultStore
+
+        return serve_store(
+            ResultStore(store_dir), host=args.serve_host, port=args.port
+        )
     if args.list_scenarios:
         from repro.runtime import list_scenarios
 
@@ -303,9 +437,6 @@ def main(argv: "list[str] | None" = None) -> int:
         session = nullcontext()
 
     store = None
-    store_dir = args.store
-    if args.resume and store_dir is None:
-        store_dir = ".repro-store"
     if store_dir is not None:
         from repro.runtime import ResultStore, result_store_session
 
@@ -325,6 +456,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 outcome = run_sweep_outcome(
                     ALL_EXPERIMENTS[name], args.scale, jobs=args.jobs,
                     seed=args.seed,
+                    spawn_workers=not args.external_workers,
+                    lease_ttl_s=args.lease_ttl,
                 )
                 elapsed = time.perf_counter() - start
                 outcomes.append(outcome)

@@ -6,12 +6,16 @@ An experiment is no longer a hand-written loop of driver runs: it is a
 builder — executed by :func:`~repro.harness.sweep.engine.run_sweep`.
 The engine resolves every grid cell through the shared cache tiers
 (in-memory :class:`~repro.runtime.scenarios.ScenarioCache`, then the
-persistent :class:`~repro.runtime.store.ResultStore`), farms the misses
-out to a :class:`~concurrent.futures.ProcessPoolExecutor` when
-``jobs > 1``, and assembles results in grid order so the report is
-byte-identical regardless of worker count or completion order.
+persistent :class:`~repro.runtime.store.ResultStore`); with ``jobs > 1``
+it enqueues the misses on a lease-based work queue over the store
+(:mod:`~repro.harness.sweep.queue`), drained by independent worker
+processes (:mod:`~repro.harness.sweep.worker`, ``repro-bench --worker``)
+on one or many hosts, and assembles results in grid order so the report
+is byte-identical regardless of worker count or completion order.
 
-:mod:`~repro.harness.sweep.bench` measures the serial-vs-parallel
+:mod:`~repro.harness.sweep.serve` answers scenario and sweep-report
+queries from a warm store over HTTP (``repro-bench --serve``);
+:mod:`~repro.harness.sweep.bench` measures the serial-vs-workers
 wall-clock of the whole suite (the ``BENCH_sweep.json`` artifact);
 :mod:`~repro.harness.sweep.docs` regenerates ``EXPERIMENTS.md`` from
 the sweep definitions.
@@ -25,6 +29,14 @@ from repro.harness.sweep.engine import (
     run_sweep_outcome,
     shutdown_pools,
 )
+from repro.harness.sweep.queue import (
+    Lease,
+    LeaseLost,
+    WorkQueue,
+    default_worker_id,
+    store_gc,
+)
+from repro.harness.sweep.worker import WorkerOptions, worker_loop
 
 __all__ = [
     "ExperimentReport",
@@ -34,4 +46,11 @@ __all__ = [
     "run_sweep",
     "run_sweep_outcome",
     "shutdown_pools",
+    "Lease",
+    "LeaseLost",
+    "WorkQueue",
+    "default_worker_id",
+    "store_gc",
+    "WorkerOptions",
+    "worker_loop",
 ]

@@ -1,11 +1,14 @@
-"""Serial-vs-parallel benchmark of the sweep suite (``BENCH_sweep.json``).
+"""Serial-vs-workers benchmark of the sweep suite (``BENCH_sweep.json``).
 
-Runs the full declarative experiment registry twice — once with
-``jobs=1`` and once with ``jobs=N`` — from cold caches and disjoint
-result stores, verifies the parallel reports are byte-for-byte identical
-to the serial ones, and records per-experiment wall-clock and cache
-accounting.  ``python -m repro.harness.sweep.bench --jobs 4`` writes the
-``BENCH_sweep.json`` artifact the CI smoke job uploads.
+Runs the full declarative experiment registry three times — serially
+(``jobs=1``), through the scheduler/worker split (``jobs=N`` external
+worker processes leasing cells from the store's work queue), and
+*resumed* (``jobs=1`` against the worker phase's warm store, so every
+cell is served from disk) — from cold caches and disjoint result
+stores, verifies the worker-phase and resumed reports are byte-for-byte
+identical to the serial ones, and records per-experiment wall-clock and
+cache accounting.  ``python -m repro.harness.sweep.bench --jobs 2``
+writes the ``BENCH_sweep.json`` artifact the CI smoke job uploads.
 
 The ``hotpath`` sweep is excluded by default: it measures *host*
 wall-clock of the counting kernels (so its report can never be
@@ -13,7 +16,7 @@ byte-identical between runs) and contains no scenario grid for the
 executor to parallelise.
 
 The payload records the host's CPU count alongside the speedup: the
-parallel phase can only run as fast as the cores it is given, so on a
+worker phase can only run as fast as the cores it is given, so on a
 single-CPU container the artifact documents the byte-identity contract
 while the speedup hovers around (or below) 1x.
 """
@@ -67,14 +70,16 @@ def _suite(
 
 def run_sweep_bench(
     scale: str = "small",
-    jobs: int = 4,
+    jobs: int = 2,
     sweeps: "Optional[Mapping[str, Sweep]]" = None,
     store_root: "Optional[Path]" = None,
 ) -> dict:
-    """Benchmark the suite serially vs with ``jobs`` workers.
+    """Benchmark the suite serially, with ``jobs`` worker processes,
+    and resumed from the workers' warm store.
 
     Returns the ``BENCH_sweep.json`` payload; raises ``AssertionError``
-    if any parallel report differs from its serial counterpart.
+    if any worker-phase or resumed report differs from its serial
+    counterpart.
     """
     if sweeps is None:
         from repro.harness.experiments import ALL_SWEEPS
@@ -90,22 +95,32 @@ def run_sweep_bench(
         store_root = Path(tmp.name)
     try:
         serial = _suite(sweeps, scale, 1, ResultStore(store_root / "serial"))
-        parallel = _suite(sweeps, scale, jobs, ResultStore(store_root / "parallel"))
+        workers = _suite(sweeps, scale, jobs, ResultStore(store_root / "workers"))
+        # The resumed phase re-runs the suite serially against the
+        # worker phase's store: a fresh ResultStore handle over the same
+        # directory, so its hit counters prove nothing re-executed.
+        resumed = _suite(sweeps, scale, 1, ResultStore(store_root / "workers"))
     finally:
         if tmp is not None:
             tmp.cleanup()
 
     mismatches = [
-        name
+        f"{phase_name}:{name}"
+        for phase_name, phase in (("workers", workers), ("resumed", resumed))
         for name in sweeps
         if name not in IDENTITY_EXEMPT
-        and serial["reports"][name] != parallel["reports"][name]
+        and serial["reports"][name] != phase["reports"][name]
     ]
     if mismatches:
         raise AssertionError(
-            f"parallel reports differ from serial: {mismatches}"
+            f"reports differ from serial: {mismatches}"
         )
-    for phase in (serial, parallel):
+    if resumed["store"]["misses"] > 0:
+        raise AssertionError(
+            "resumed phase re-executed scenarios "
+            f"({resumed['store']['misses']} store misses)"
+        )
+    for phase in (serial, workers, resumed):
         phase.pop("reports")
     try:
         effective_cpus = len(os.sched_getaffinity(0))
@@ -115,7 +130,7 @@ def run_sweep_bench(
         "bench": "sweep",
         "scale": scale,
         # Wall-clock speedup is bounded by the cores actually available;
-        # on a single-CPU host the parallel phase can only verify the
+        # on a single-CPU host the worker phase can only verify the
         # byte-identity contract, not demonstrate a speedup.  A degraded
         # host (fewer effective CPUs than workers) is recorded so report
         # consumers can refuse to read the speedup as an engine property.
@@ -128,8 +143,10 @@ def run_sweep_bench(
         "identity_exempt": [n for n in IDENTITY_EXEMPT if n in sweeps],
         "byte_identical": True,
         "serial": serial,
-        "parallel": parallel,
-        "speedup": serial["wall_s"] / parallel["wall_s"],
+        "parallel": workers,
+        "resumed": resumed,
+        "speedup": serial["wall_s"] / workers["wall_s"],
+        "resume_speedup": serial["wall_s"] / resumed["wall_s"],
     }
 
 
@@ -143,19 +160,21 @@ def write_sweep_json(path: "str | Path", payload: dict) -> Path:
 def main(argv: "Optional[list[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness.sweep.bench",
-        description="Benchmark the sweep suite serially vs in parallel.",
+        description="Benchmark the sweep suite: serial vs worker "
+        "processes vs resumed from the warm store.",
     )
     parser.add_argument("--scale", default="small")
-    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--out", default="BENCH_sweep.json")
     args = parser.parse_args(argv)
     payload = run_sweep_bench(scale=args.scale, jobs=args.jobs)
     out = write_sweep_json(args.out, payload)
     print(
         f"[sweep bench] {args.scale}: serial {payload['serial']['wall_s']:.1f}s, "
-        f"jobs={args.jobs} {payload['parallel']['wall_s']:.1f}s "
+        f"{args.jobs} workers {payload['parallel']['wall_s']:.1f}s "
         f"({payload['speedup']:.2f}x on {payload['host']['effective_cpus']} "
-        f"cpu), reports byte-identical -> {out}"
+        f"cpu), resumed {payload['resumed']['wall_s']:.1f}s "
+        f"({payload['resume_speedup']:.1f}x), reports byte-identical -> {out}"
     )
     if payload["host"]["host_degraded"]:
         print(

@@ -152,7 +152,20 @@ class ResultStore:
 
     def path_for(self, scenario: "Scenario") -> Path:
         """The entry file this scenario maps to (may not exist yet)."""
-        return self.path / f"{self.key_for(scenario)}.json"
+        return self.path_for_key(self.key_for(scenario))
+
+    def path_for_key(self, key: str) -> Path:
+        """The entry file for a raw content address (the addressing the
+        work queue and the HTTP mode share with the store)."""
+        return self.path / f"{key}.json"
+
+    @property
+    def queue_path(self) -> Path:
+        """Where the lease-based work queue keeps its state for this
+        store (:class:`repro.harness.sweep.queue.WorkQueue`): a
+        subdirectory, so the top-level ``*.json`` globs — entry counts,
+        :meth:`clear`, :meth:`gc` — never confuse tasks with results."""
+        return self.path / "queue"
 
     # -- access ------------------------------------------------------------
 
@@ -193,6 +206,23 @@ class ResultStore:
         self._count("result_store_writes")
         return entry
 
+    def read_payload(self, key: str) -> "Optional[dict]":
+        """The raw self-describing payload stored under a content
+        address, or ``None`` when the entry is absent, unreadable, or
+        from another :data:`STORE_FORMAT` (the read-only HTTP mode's
+        scenario-key lookup)."""
+        try:
+            payload = json.loads(self.path_for_key(key).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != STORE_FORMAT:
+            return None
+        return payload
+
+    def keys(self) -> "list[str]":
+        """Every stored content address, sorted."""
+        return sorted(entry.stem for entry in self.path.glob("*.json"))
+
     def __contains__(self, scenario: "Scenario") -> bool:
         return self.path_for(scenario).exists()
 
@@ -203,6 +233,48 @@ class ResultStore:
         """Delete every entry (hit/miss counters are kept)."""
         for entry in self.path.glob("*.json"):
             entry.unlink()
+
+    def gc(self, now: float, tmp_age_s: float = 3600.0) -> dict:
+        """Compact the entry directory: drop orphaned temp files and
+        entries from another :data:`STORE_FORMAT`.
+
+        ``now`` is the caller's host wall-clock (the runtime layer never
+        reads host time itself — ``repro-bench --store-gc`` passes it
+        in).  Temp files younger than ``tmp_age_s`` are kept: they may
+        belong to a live writer mid-:meth:`put`.  Queue state lives
+        under :attr:`queue_path` and is compacted separately by
+        :func:`repro.harness.sweep.queue.store_gc`, which wraps this.
+        """
+        removed_tmp = 0
+        for tmp in self.path.glob("*.tmp-*"):
+            try:
+                if now - tmp.stat().st_mtime >= tmp_age_s:
+                    tmp.unlink()
+                    removed_tmp += 1
+            except OSError:
+                continue
+        removed_entries = 0
+        kept = 0
+        for entry in self.path.glob("*.json"):
+            try:
+                payload = json.loads(entry.read_text())
+                ok = isinstance(payload, dict) \
+                    and payload.get("format") == STORE_FORMAT
+            except (OSError, ValueError):
+                ok = False
+            if ok:
+                kept += 1
+                continue
+            try:
+                entry.unlink()
+                removed_entries += 1
+            except OSError:
+                continue
+        return {
+            "entries_kept": kept,
+            "entries_removed": removed_entries,
+            "tmp_removed": removed_tmp,
+        }
 
     def stats(self) -> dict:
         """Hit/miss/write counters plus the current entry count."""

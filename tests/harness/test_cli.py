@@ -83,3 +83,41 @@ def test_trace_cli_rejects_non_trace_dir(tmp_path, capsys):
 
     assert trace_main([str(tmp_path)]) == 2
     assert "not a trace directory" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("flag", ["--worker", "--store-gc", "--serve"])
+def test_store_modes_require_a_store(flag, capsys):
+    assert main([flag]) == 2
+    assert "needs a store" in capsys.readouterr().err
+
+
+def test_worker_mode_drains_queue_from_cli(tmp_path, capsys):
+    import json
+
+    from repro.harness.sweep.queue import WorkQueue
+    from repro.runtime import ResultStore, Scenario, clear_cache
+
+    clear_cache()
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(Scenario(scale="tiny", pager="remote", n_memory_nodes=2,
+                           paper_mb=13.0))
+    assert main([
+        "--worker", "--store", str(tmp_path), "--drain",
+        "--worker-id", "cli-w", "--lease-ttl", "5",
+    ]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["worker"] == "cli-w"
+    assert stats["cells"] == 1
+    assert stats["exit"] == "drained"
+    assert len(store) == 1
+    clear_cache()
+
+
+def test_store_gc_mode_prints_summary(tmp_path, capsys):
+    import json
+
+    assert main(["--store-gc", "--store", str(tmp_path)]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["entries_kept"] == 0
+    assert summary["store"] == str(tmp_path)

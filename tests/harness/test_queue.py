@@ -1,0 +1,181 @@
+"""Tests for the lease-based work queue over the result store."""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.harness.sweep.queue import LeaseLost, WorkQueue, store_gc
+from repro.obs import Telemetry, telemetry_session
+from repro.runtime import ResultStore, Scenario
+
+A = Scenario(scale="tiny", pager="remote", n_memory_nodes=2, paper_mb=13.0)
+B = Scenario(scale="tiny", pager="remote", n_memory_nodes=2, paper_mb=15.0)
+
+
+def test_enqueue_is_idempotent(tmp_path):
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    assert queue.enqueue(A) is True
+    assert queue.enqueue(A) is False  # already pending
+    assert queue.enqueue(B) is True
+    assert queue.counts() == {"pending": 2, "leased": 0, "done": 0}
+    # A leased task is not re-enqueued either.
+    lease = queue.lease("w1", ttl_s=30.0)
+    assert lease is not None
+    assert queue.enqueue(lease.scenario) is False
+    assert queue.counts() == {"pending": 1, "leased": 1, "done": 0}
+
+
+def test_enqueue_skips_resolved_scenarios(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(A, A.execute())
+    queue = WorkQueue(store)
+    assert queue.enqueue(A) is False  # result already in the store
+    assert queue.counts()["pending"] == 0
+
+
+def test_lease_execute_release_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    lease = queue.lease("w1", ttl_s=30.0, now=100.0)
+    assert lease is not None
+    assert lease.worker == "w1"
+    assert lease.attempt == 1
+    assert lease.deadline == 130.0
+    assert lease.scenario.cache_key() == A.cache_key()
+    # Nothing else is leasable while the claim is held.
+    assert queue.lease("w2", ttl_s=30.0, now=101.0) is None
+    renewed = queue.renew(lease, ttl_s=30.0, now=110.0)
+    assert renewed.deadline == 140.0
+    store.put(A, A.execute())
+    assert queue.release(renewed, wall_s=1.5) is True
+    assert queue.counts() == {"pending": 0, "leased": 0, "done": 1}
+    record = queue.done_records()[lease.key]
+    assert record["worker"] == "w1"
+    assert record["wall_s"] == 1.5
+    assert record["attempt"] == 1
+
+
+def test_lease_drops_tasks_resolved_out_of_band(tmp_path):
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    # A serial run against the same store resolved the cell meanwhile.
+    store.put(A, A.execute())
+    assert queue.lease("w1", ttl_s=30.0) is None
+    assert queue.counts()["pending"] == 0
+
+
+def test_expired_lease_is_reclaimed_with_bumped_attempt(tmp_path):
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    stale = queue.lease("dead-worker", ttl_s=10.0, now=100.0)
+    assert stale is not None
+    # Before the deadline the cell stays claimed...
+    assert queue.lease("rescuer", ttl_s=10.0, now=109.0) is None
+    # ...after it, the next lease call reclaims and re-leases it.
+    rescued = queue.lease("rescuer", ttl_s=10.0, now=111.0)
+    assert rescued is not None
+    assert rescued.key == stale.key
+    assert rescued.attempt == 2
+    # The dead worker's handle is unusable: renew raises, release no-ops.
+    with pytest.raises(LeaseLost):
+        queue.renew(stale, ttl_s=10.0, now=112.0)
+    assert queue.release(stale) is False
+    assert queue.release(rescued, wall_s=0.5) is True
+
+
+def test_expired_lease_with_stored_result_counts_as_done(tmp_path):
+    """A worker that died between the store write and release loses only
+    its accounting — the cell is not re-executed."""
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    queue.lease("died-after-write", ttl_s=10.0, now=100.0)
+    store.put(A, A.execute())
+    assert queue.reclaim_stale(now=200.0) == []
+    assert queue.counts() == {"pending": 0, "leased": 0, "done": 0}
+
+
+def test_killed_worker_process_lease_is_reclaimed(tmp_path):
+    """A real worker process killed with SIGKILL while holding a lease:
+    the cell must come back, not get lost."""
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    child = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "import sys, time\n"
+            "from repro.harness.sweep.queue import WorkQueue\n"
+            "from repro.runtime import ResultStore\n"
+            "queue = WorkQueue(ResultStore(sys.argv[1]))\n"
+            "lease = queue.lease('doomed', ttl_s=float(sys.argv[2]))\n"
+            "print('LEASED' if lease else 'EMPTY', flush=True)\n"
+            "time.sleep(600)\n",
+            str(tmp_path), "0.5",
+        ],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        assert child.stdout is not None
+        assert child.stdout.readline().strip() == "LEASED"
+    finally:
+        child.kill()
+        child.wait()
+    assert queue.counts() == {"pending": 0, "leased": 1, "done": 0}
+    # No live renewer: past the deadline the cell is reclaimable.
+    rescued = queue.lease("rescuer", ttl_s=30.0, now=time.time() + 1.0)
+    assert rescued is not None
+    assert rescued.attempt == 2
+    assert rescued.scenario.cache_key() == A.cache_key()
+
+
+def test_queue_events_reach_telemetry(tmp_path):
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    telemetry = Telemetry()
+    with telemetry_session(telemetry):
+        queue.enqueue(A)
+        lease = queue.lease("w1", ttl_s=10.0, now=100.0)
+        queue.renew(lease, ttl_s=10.0, now=105.0)
+        rescued = queue.lease("w2", ttl_s=10.0, now=200.0)  # reclaims w1's
+        assert rescued is not None and rescued.worker == "w2"
+    kinds = telemetry.counts_by_kind()
+    assert kinds["queue-enqueue"] == 1
+    assert kinds["lease-acquire"] == 2  # w1, then w2 after reclamation
+    assert kinds["lease-renew"] == 1
+    assert kinds["lease-reclaim"] == 1
+    enq = telemetry.registry.collect("queue_enqueues")
+    assert sum(m.value for _, _, m in enq) == 1
+    reclaims = telemetry.registry.collect("queue_reclaims")
+    assert sum(m.value for _, _, m in reclaims) == 1
+
+
+def test_store_gc_compacts_queue_state(tmp_path):
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    queue.enqueue(B)
+    # Lease order follows the content-address sort, so work out which
+    # scenario is still pending after the first lease.
+    lease = queue.lease("w1", ttl_s=30.0)
+    other = B if lease.scenario.cache_key() == A.cache_key() else A
+    store.put(lease.scenario, lease.scenario.execute())
+    queue.release(lease, wall_s=0.1)
+    # One cell done; the other stays pending.  Resolve it out-of-band so
+    # its task is an orphan, then gc.
+    store.put(other, other.execute())
+    summary = store_gc(store)
+    assert summary["entries_kept"] == 2
+    assert summary["tasks_orphaned"] == 1  # the out-of-band cell's task
+    assert summary["done_cleared"] == 1    # the released cell's record
+    assert summary["leases_reclaimed"] == 0
+    assert queue.counts() == {"pending": 0, "leased": 0, "done": 0}
+    # The results themselves are untouched.
+    assert store.get(A) is not None
+    assert store.get(B) is not None

@@ -1,0 +1,140 @@
+"""Tests for the sweep worker loop (lease → execute → store → release)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.sweep.queue import WorkQueue
+from repro.harness.sweep.worker import WorkerOptions, worker_loop
+from repro.obs import Telemetry, telemetry_session
+from repro.runtime import ResultStore, Scenario, clear_cache
+
+A = Scenario(scale="tiny", pager="remote", n_memory_nodes=2, paper_mb=13.0)
+B = Scenario(scale="tiny", pager="remote", n_memory_nodes=2, paper_mb=15.0)
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _drain_options(**overrides):
+    fields = dict(
+        worker_id="w-test",
+        lease_ttl_s=5.0,
+        poll_s=0.01,
+        idle_exit_s=30.0,
+        exit_when_empty=True,
+    )
+    fields.update(overrides)
+    return WorkerOptions(**fields)
+
+
+def test_worker_loop_drains_the_queue(tmp_path):
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    queue.enqueue(B)
+    stats = worker_loop(store, _drain_options())
+    assert stats["worker"] == "w-test"
+    assert stats["cells"] == 2
+    assert stats["lost_leases"] == 0
+    assert stats["exit"] == "drained"
+    assert stats["busy_wall_s"] > 0.0
+    # Both results are durable, with per-cell accounting in done/.
+    assert store.get(A) is not None
+    assert store.get(B) is not None
+    records = queue.done_records()
+    assert len(records) == 2
+    assert all(r["worker"] == "w-test" for r in records.values())
+    assert all(r["wall_s"] > 0.0 for r in records.values())
+
+
+def test_worker_loop_on_empty_queue_exits_drained(tmp_path):
+    stats = worker_loop(ResultStore(tmp_path), _drain_options())
+    assert stats["cells"] == 0
+    assert stats["exit"] == "drained"
+
+
+def test_worker_loop_idle_exit(tmp_path):
+    stats = worker_loop(
+        ResultStore(tmp_path),
+        _drain_options(exit_when_empty=False, idle_exit_s=0.05),
+    )
+    assert stats["cells"] == 0
+    assert stats["exit"] == "idle"
+
+
+def test_worker_events_reach_telemetry(tmp_path):
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    queue.enqueue(B)
+    telemetry = Telemetry()
+    with telemetry_session(telemetry):
+        worker_loop(store, _drain_options())
+    kinds = telemetry.counts_by_kind()
+    assert kinds["worker-start"] == 1
+    assert kinds["worker-exit"] == 1
+    assert kinds["lease-acquire"] == 2
+    assert kinds["lease-release"] == 2
+    cells = telemetry.registry.collect("worker_cells")
+    assert sum(m.value for _, _, m in cells) == 2
+    assert {labels["worker"] for _, labels, _ in cells} == {"w-test"}
+    hist = telemetry.registry.merged_histogram("worker_cell_wall_s")
+    assert hist is not None and hist.count == 2
+
+
+def test_killed_worker_cell_recovered_by_lease_expiry(tmp_path):
+    """End-to-end crash recovery: a worker process is SIGKILLed while
+    holding a lease; a second worker's loop waits out the lease TTL,
+    reclaims the cell, and finishes the sweep with no cell lost and no
+    cell duplicated."""
+    store = ResultStore(tmp_path)
+    queue = WorkQueue(store)
+    queue.enqueue(A)
+    queue.enqueue(B)
+    # The doomed worker leases a cell and hangs without renewing —
+    # exactly what a crashed/partitioned worker looks like on disk.
+    child = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "import sys, time\n"
+            "from repro.harness.sweep.queue import WorkQueue\n"
+            "from repro.runtime import ResultStore\n"
+            "queue = WorkQueue(ResultStore(sys.argv[1]))\n"
+            "lease = queue.lease('doomed', ttl_s=float(sys.argv[2]))\n"
+            "print('LEASED' if lease else 'EMPTY', flush=True)\n"
+            "time.sleep(600)\n",
+            str(tmp_path), "0.4",
+        ],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        assert child.stdout is not None
+        assert child.stdout.readline().strip() == "LEASED"
+    finally:
+        child.kill()
+        child.wait()
+    # The rescuer keeps polling past the dead lease's TTL (idle_exit_s
+    # exceeds lease_ttl_s, as the WorkerOptions docs require), reclaims
+    # the cell, and drains the queue.
+    stats = worker_loop(
+        store,
+        _drain_options(worker_id="rescuer", lease_ttl_s=0.4, idle_exit_s=5.0),
+    )
+    assert stats["cells"] == 2
+    assert stats["exit"] == "drained"
+    # No lost cells: both results present.  No duplicates: the store
+    # holds exactly one entry per content address.
+    assert store.get(A) is not None
+    assert store.get(B) is not None
+    assert len(store) == 2
+    records = queue.done_records()
+    assert len(records) == 2
+    assert all(r["worker"] == "rescuer" for r in records.values())
+    # The reclaimed cell carries the bumped attempt counter.
+    assert sorted(r["attempt"] for r in records.values()) == [1, 2]

@@ -1,6 +1,8 @@
 """Tests for the persistent content-addressed result store."""
 
 import json
+import multiprocessing
+import os
 
 from repro.runtime import (
     ResultStore,
@@ -89,6 +91,70 @@ def test_result_store_session_scoping(tmp_path):
             # None inherits the ambient store rather than clearing it.
             assert current_result_store() is store
     assert current_result_store() is None
+
+
+def _race_put(path, barrier):
+    """Child process body: execute TINY, sync on the barrier, put."""
+    store = ResultStore(path)
+    result = TINY.execute()
+    barrier.wait()
+    store.put(TINY, result)
+
+
+def test_concurrent_puts_on_same_key_converge(tmp_path):
+    """Two processes racing ``put()`` on the same content address must
+    converge to exactly one valid entry — the atomic temp-file+rename
+    protocol makes duplicated worker executions idempotent."""
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(2)
+    procs = [
+        ctx.Process(target=_race_put, args=(str(tmp_path), barrier))
+        for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+    store = ResultStore(tmp_path)
+    assert len(store) == 1
+    assert store.get(TINY) == TINY.execute()
+    # Neither writer leaked a partial temp file.
+    assert list(tmp_path.glob("*.tmp-*")) == []
+
+
+def test_gc_drops_old_tmp_and_foreign_entries(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(TINY, TINY.execute())
+    old_tmp = tmp_path / "deadbeef.tmp-123"
+    old_tmp.write_text("partial write from a long-dead worker")
+    young_tmp = tmp_path / "cafef00d.tmp-456"
+    young_tmp.write_text("partial write from a live worker")
+    now = old_tmp.stat().st_mtime + 7200.0
+    os.utime(young_tmp, (now, now))  # younger than tmp_age_s at gc time
+    (tmp_path / ("0" * 64 + ".json")).write_text(
+        json.dumps({"format": STORE_FORMAT + 1})
+    )
+    (tmp_path / ("1" * 64 + ".json")).write_text("{not json")
+    summary = store.gc(now, tmp_age_s=3600.0)
+    assert summary == {
+        "entries_kept": 1, "entries_removed": 2, "tmp_removed": 1,
+    }
+    assert not old_tmp.exists()
+    assert young_tmp.exists()  # may belong to a writer mid-put
+    assert store.get(TINY) is not None  # live entries survive gc
+
+
+def test_read_payload_and_keys(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(TINY, TINY.execute())
+    key = store.key_for(TINY)
+    assert store.keys() == [key]
+    payload = store.read_payload(key)
+    assert payload is not None
+    assert payload["format"] == STORE_FORMAT
+    assert result_from_dict(payload["result"]) == TINY.execute()
+    assert store.read_payload("0" * 64) is None
 
 
 def test_run_scenario_populates_and_reuses_the_store(tmp_path):
