@@ -94,7 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LIST",
         default=None,
         help="comma list restricting the artifacts "
-        f"({', '.join(ExperimentResults.ARTIFACTS)})",
+        f"({', '.join(ExperimentResults.ARTIFACTS)}; opt-in extras: "
+        f"{', '.join(ExperimentResults.EXTRA_ARTIFACTS)})",
     )
     parser.add_argument(
         "--bench",

@@ -64,10 +64,16 @@ class ExperimentResults:
     ``artifacts()`` drive whichever subset a caller asks for.
     """
 
-    #: Payload order (and the ``--only`` vocabulary).
+    #: Payload order (and the core ``--only`` vocabulary).
     ARTIFACTS = (
         "table2", "table3", "table4", "fig3", "fig4", "fig5", "policy",
     )
+
+    #: Opt-in artifacts: addressable through ``--only`` but excluded
+    #: from the default payload, so reports stay diffable against
+    #: baselines that predate them (the gate treats an artifact present
+    #: only on one side as drift).
+    EXTRA_ARTIFACTS = ("churn",)
 
     def __init__(
         self,
@@ -344,22 +350,63 @@ class ExperimentResults:
             ],
         )
 
+    @cached_property
+    def churn(self) -> ArtifactStats:
+        """Placement policies under churning availability, with the
+        policy-vs-policy rank tests per churn regime (opt-in: see
+        ``EXTRA_ARTIFACTS``)."""
+        per_seed: "list[dict]" = []
+        policies: "list[str]" = []
+        for seed in self.seeds:
+            series = self._outcome("churn", seed).report.data["series"]
+            if not policies:
+                policies = list(series)
+            per_seed.append({
+                policy: {regime: float(t) for regime, t in times.items()}
+                for policy, times in series.items()
+            })
+        cells = aggregate_series(per_seed)
+        comparisons: "list" = []
+        for i, a in enumerate(policies):
+            for b in policies[i + 1:]:
+                comparisons.extend(compare_groups(cells, a, b))
+        return ArtifactStats(
+            artifact="churn",
+            exp_id="C1",
+            title="Placement policies under churning memory availability",
+            kind="table",
+            x_label="churn regime",
+            metric="pass 2 time",
+            unit="s",
+            cells=cells,
+            comparisons=comparisons,
+            notes=[
+                "the calm column separates the policies least; "
+                "availability-aware policies should never trail "
+                "round-robin under churn.",
+            ],
+        )
+
     # -- assembly ----------------------------------------------------------
 
     def artifacts(
         self, only: "Optional[Sequence[str]]" = None
     ) -> "dict[str, ArtifactStats]":
-        """The requested artifacts, in canonical payload order."""
+        """The requested artifacts, in canonical payload order.
+
+        ``only=None`` yields the core set; the opt-in
+        ``EXTRA_ARTIFACTS`` appear only when named explicitly."""
+        known = self.ARTIFACTS + self.EXTRA_ARTIFACTS
         if only is None:
             names = list(self.ARTIFACTS)
         else:
-            unknown = sorted(set(only) - set(self.ARTIFACTS))
+            unknown = sorted(set(only) - set(known))
             if unknown:
                 raise HarnessError(
                     f"unknown artifacts {unknown}; expected a subset of "
-                    f"{list(self.ARTIFACTS)}"
+                    f"{list(known)}"
                 )
-            names = [n for n in self.ARTIFACTS if n in set(only)]
+            names = [n for n in known if n in set(only)]
         return {name: getattr(self, name) for name in names}
 
     def payload(self, only: "Optional[Sequence[str]]" = None) -> dict:

@@ -16,8 +16,11 @@ from repro.core.monitor import (
 )
 from repro.core.pager import Pager, PagerStats
 from repro.core.placement import (
+    LoadBalancingPlacement,
+    MigrateAheadPlacement,
     MostAvailableFirst,
     PlacementPolicy,
+    PredictivePlacement,
     RoundRobinPlacement,
     make_placement,
 )
@@ -56,5 +59,8 @@ __all__ = [
     "PlacementPolicy",
     "MostAvailableFirst",
     "RoundRobinPlacement",
+    "PredictivePlacement",
+    "LoadBalancingPlacement",
+    "MigrateAheadPlacement",
     "make_placement",
 ]

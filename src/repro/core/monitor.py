@@ -41,6 +41,10 @@ class AvailabilityInfo:
     shortage: bool
     seq: int
     timestamp: float
+    #: The reporting node's total memory (lets placement policies reason
+    #: about *fraction* used on heterogeneous clusters); 0 means the
+    #: broadcast predates this field.
+    capacity_bytes: int = 0
 
 
 class MemoryMonitor:
@@ -94,20 +98,33 @@ class MemoryMonitor:
             self._proc.interrupt("broadcast-now")
 
     def clear_shortage(self) -> None:
-        """Lift a previously signalled shortage."""
+        """Lift a previously signalled shortage and broadcast the
+        recovery immediately, so stale shortage flags do not linger in
+        client tables for up to a monitoring interval — under churn
+        several nodes can cycle within one interval, and lingering
+        flags would make the whole cluster look dead."""
         self._shortage = False
         self.node.memory.set_external_pressure(0)
+        if self.bus is not None:
+            self.bus.emit(
+                "node-recover", self.node.node_id, "memory shortage cleared"
+            )
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("broadcast-now")
 
     def _run(self) -> Generator:
         env = self.node.env
         while True:
-            yield from self._broadcast()
             try:
+                yield from self._broadcast()
                 yield env.timeout(self.interval_s)
             except Interrupt as intr:
                 if intr.cause == "stop":
                     return
-                # "broadcast-now": loop immediately re-broadcasts.
+                # "broadcast-now": loop immediately re-broadcasts.  The
+                # interrupt may land mid-broadcast (shortage state can
+                # flip while the monitor is paying per-message CPU);
+                # restarting the broadcast sends the fresh truth.
 
     def _broadcast(self) -> Generator:
         available = 0 if self._shortage else self.node.memory.available_bytes
@@ -117,6 +134,7 @@ class MemoryMonitor:
             shortage=self._shortage,
             seq=self._seq,
             timestamp=self.node.env.now,
+            capacity_bytes=self.node.memory.capacity_bytes,
         )
         if self.bus is not None:
             self.bus.emit(
@@ -194,6 +212,7 @@ class MonitorClient:
                 shortage=info.shortage,
                 seq=info.seq,
                 timestamp=info.timestamp,
+                capacity_bytes=info.capacity_bytes,
             )
 
     def mark_full(self, node_id: int) -> None:
@@ -207,6 +226,7 @@ class MonitorClient:
                 shortage=info.shortage,
                 seq=info.seq,
                 timestamp=info.timestamp,
+                capacity_bytes=info.capacity_bytes,
             )
 
     def _run(self) -> Generator:

@@ -51,6 +51,15 @@ UpdateRecord = "tuple[int, Itemset, int]"
 #: Size of a migration direction message (line list, compactly encoded).
 DIRECTION_MESSAGE_BYTES = 128
 
+#: Mid-migration destination retry: under churning availability every
+#: other holder can be transiently full or in shortage at the instant a
+#: line needs a new home.  The migration stalls and re-consults the
+#: availability table after this long, up to the retry limit, before
+#: declaring the cluster out of memory.  (Unreachable with scripted
+#: shortages, where the remaining holders always have room.)
+MIGRATION_RETRY_S = 0.01
+MIGRATION_RETRY_LIMIT = 50
+
 
 class RemoteMemoryPager(Pager):
     """Dynamic remote memory acquisition with simple swapping."""
@@ -121,6 +130,7 @@ class RemoteMemoryPager(Pager):
                     self._emit(
                         "placement-reject",
                         f"line {line.line_id}: no remote memory, disk fallback",
+                        policy=self.placement.name,
                     )
                     return self.fallback.evict(line)
                 raise
@@ -130,7 +140,8 @@ class RemoteMemoryPager(Pager):
                 self.client.mark_full(dst)
                 exclude.add(dst)
                 self.stats.placement_rejections += 1
-                self._emit("placement-reject", f"node {dst} full", dst=dst)
+                self._emit("placement-reject", f"node {dst} full", dst=dst,
+                           policy=self.placement.name)
                 continue
             break
         self.table.set_remote(line.line_id, dst, fixed=self.fixed)
@@ -241,6 +252,7 @@ class RemoteMemoryPager(Pager):
         # Tell the overloaded holder where each entry should go.
         yield from self._send(self.node, src_node, DIRECTION_MESSAGE_BYTES)
 
+        moved = 0
         for lid in line_ids:
             if not src_store.holds(self.owner_id, lid):
                 # A concurrent pagefault already pulled this line home; it
@@ -249,14 +261,23 @@ class RemoteMemoryPager(Pager):
                 continue
             line = src_store.take(self.owner_id, lid)
             exclude: set[int] = {shortage_node}
+            retries = 0
             while True:
                 try:
                     dst = self.placement.choose(self.client, line.nbytes, exclude)
                 except NoMemoryAvailable as exc:
-                    raise MigrationError(
-                        f"no destination for line {lid} migrating off node "
-                        f"{shortage_node}"
-                    ) from exc
+                    retries += 1
+                    if retries > MIGRATION_RETRY_LIMIT:
+                        raise MigrationError(
+                            f"no destination for line {lid} migrating off "
+                            f"node {shortage_node}"
+                        ) from exc
+                    # Transient: stall until fresh broadcasts land, then
+                    # re-consult the table (dropping store-full bans,
+                    # which the fresh truth supersedes).
+                    yield env.timeout(MIGRATION_RETRY_S)
+                    exclude = {shortage_node}
+                    continue
                 dst_node = self.memory_nodes[dst]
                 yield from self._send(src_node, dst_node, block)
                 yield from dst_node.compute(self.cost.remote_store_service_s)
@@ -266,19 +287,21 @@ class RemoteMemoryPager(Pager):
                     self.client.mark_full(dst)
                     exclude.add(dst)
                     self.stats.placement_rejections += 1
-                    self._emit("placement-reject", f"node {dst} full", dst=dst)
+                    self._emit("placement-reject", f"node {dst} full", dst=dst,
+                               policy=self.placement.name)
                     continue
                 break
             self.table.set_remote(lid, dst, fixed=self.fixed)
             self.client.adjust_estimate(dst, -line.nbytes)
             self._migration_events.pop(lid).succeed()
+            moved += 1
 
         self.stats.migrations += 1
         self.stats.lines_migrated += len(line_ids)
         self._emit(
             "migration",
             f"{len(line_ids)} lines off node {shortage_node}",
-            lines=len(line_ids), src=shortage_node,
+            lines=len(line_ids), src=shortage_node, bytes=moved * block,
         )
         yield from self._post_migration()
 

@@ -308,8 +308,18 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.runtime import list_scenarios
 
         print("named scenarios:")
+        print(
+            f"  {'name':20s} {'drv':4s} {'placement':15s} {'repl':7s} "
+            f"{'churn':10s} description"
+        )
         for s in list_scenarios():
-            print(f"  {s.name:20s} [{s.driver}] {s.description}")
+            churn = s.churn.partition(":")[0]
+            if s.failures:
+                churn = f"{churn}+fail" if churn != "none" else "fail"
+            print(
+                f"  {s.name:20s} {s.driver:4s} {s.placement:15s} "
+                f"{s.replacement:7s} {churn:10s} {s.description}"
+            )
         return 0
     if args.profile is not None:
         import json

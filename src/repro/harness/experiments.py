@@ -51,6 +51,7 @@ __all__ = [
     "exp_disk_access_analysis",
     "exp_monitor_interval",
     "exp_ablation_policy",
+    "exp_churn_dynamics",
     "exp_ablation_blocksize",
     "exp_ablation_eld",
     "exp_ablation_loss",
@@ -521,6 +522,89 @@ def _report_policy(scale: str, results: Results) -> ExperimentReport:
         data=data,
         paper_shape="the paper asserts LRU; with near-uniform hash-line "
         "access the policies should be close, with LRU never worst.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cluster dynamics C1 — placement policy under churning availability
+# ---------------------------------------------------------------------------
+
+#: Every swap-destination policy competes (paper §4.3 prescribes only
+#: the first).
+PLACEMENT_SWEEP = (
+    "most-available",
+    "round-robin",
+    "predictive",
+    "load-balancing",
+    "migrate-ahead",
+)
+
+#: Background-load regimes driving the memory nodes' ledgers
+#: (:func:`repro.cluster.dynamics.parse_trace` specs).  ``calm`` never
+#: disturbs anything (the policies' intrinsic spread); ``sawtooth``
+#: ramps each node to a full reclaim on a staggered phase (gradual
+#: declines — the predictive policies' habitat); ``bursty`` hits each
+#: node with short random full reclaims (no warning at all).
+CHURN_REGIMES = {
+    "calm": "constant:frac=0.35",
+    "sawtooth": "sawtooth:period=0.12,low=0.2,high=1,steps=6,stagger=1",
+    "bursty": "bursty:gap=0.05,hold=0.015,frac=1",
+}
+
+#: Churn cells monitor faster than the paper's 1-3 s guidance scaled
+#: down: prediction quality is bounded by broadcast cadence, and the
+#: experiment compares policies, not monitoring overhead.
+CHURN_MONITOR_INTERVAL_S = 0.02
+
+
+def _grid_churn(scale: str) -> "dict[str, Scenario]":
+    s = SCALES[scale]
+    mb = s.limits_mb[1]
+    cells: "dict[str, Scenario]" = {}
+    for policy in PLACEMENT_SWEEP:
+        for regime, spec in CHURN_REGIMES.items():
+            cells[f"{policy}|{regime}"] = Scenario(
+                scale=scale, pager="remote-update",
+                n_memory_nodes=s.max_memory_nodes, paper_mb=mb,
+                placement=policy, churn=spec,
+                monitor_interval_s=CHURN_MONITOR_INTERVAL_S,
+            )
+    return cells
+
+
+def _report_churn(scale: str, results: Results) -> ExperimentReport:
+    """The paper's premise — remote memory fluctuates because owners
+    reclaim their machines — exercised directly: every placement policy
+    races the same churning cluster."""
+    prep = prepare_workload(scale)
+    mb = prep.scale.limits_mb[1]
+    rows = []
+    series: "dict[str, dict[str, float]]" = {}
+    for policy in PLACEMENT_SWEEP:
+        times = {
+            regime: _pass2_time(results[f"{policy}|{regime}"])
+            for regime in CHURN_REGIMES
+        }
+        series[policy] = times
+        rows.append(
+            (policy, *(times[regime] for regime in CHURN_REGIMES))
+        )
+    text = render_table(
+        ["placement"] + [f"{regime} [s]" for regime in CHURN_REGIMES],
+        rows,
+        title=(
+            f"Cluster dynamics — placement policy vs churn regime "
+            f"at limit {mb:g}MB"
+        ),
+    )
+    return ExperimentReport(
+        exp_id="C1",
+        title="Placement policies under churning memory availability",
+        text=text,
+        data={"series": series},
+        paper_shape="the calm column should separate the policies least; "
+        "under sawtooth/bursty churn, availability-aware policies should "
+        "never trail round-robin.",
     )
 
 
@@ -1022,6 +1106,42 @@ hash-line accesses being near-uniform, which bounds what any policy can
 exploit. The paper's choice is validated but shown to be non-critical.""",
         ),
         Sweep(
+            name="churn",
+            exp_id="C1",
+            title="Cluster dynamics — placement policy under churn",
+            grid=_grid_churn,
+            report=_report_churn,
+            doc="""\
+The paper's premise — "in recent distributed computing environments,
+some workstations are used while their owners are away" — exercised
+directly: seeded background-load traces drive every memory node's
+ledger while pass 2 runs, and five swap-destination policies compete.
+Pass-2 time at the 13 MB limit (remote update, 20 ms monitoring):
+
+| placement | calm | sawtooth | bursty |
+|---|---|---|---|
+| most-available | 0.32 | 0.40 | 0.36 |
+| round-robin | 0.36 | 0.39 | 0.37 |
+| predictive | 0.37 | 0.43 | 0.49 |
+| load-balancing | 0.32 | 0.40 | 0.36 |
+| migrate-ahead | 0.37 | 0.43 | 0.49 |
+
+Under *calm* load the paper's most-available choice (§4.2) wins and
+load-balancing ties it (with equal-capacity nodes the two rank
+identically); round-robin pays ~12 % for ignoring availability.
+Staggered sawtooth reclaims (each node ramps to a full reclaim on its
+own phase) cost every policy a migration burst per reclaim.  Under
+*bursty* full reclaims the smoothed policies lose the most: exponential
+smoothing averages over bursts, so predictive keeps routing lines into
+nodes about to vanish (33 store-full rejections vs 6 for
+most-available).  Migrate-ahead's proactive evacuation does trigger on
+the sawtooth's gradual declines (6 ``migrate-ahead`` events) but at
+this scale the app node holds no guest lines on the predicted-full
+nodes by trigger time, so it ties plain predictive.  Smoothing helps
+against *noise*; against *sustained* trends the freshest broadcast is
+already the best predictor.""",
+        ),
+        Sweep(
             name="blocksize",
             exp_id="A2",
             title="Ablation A2 — message block size",
@@ -1142,6 +1262,7 @@ exp_fig5_migration = ALL_SWEEPS["fig5"]
 exp_disk_access_analysis = ALL_SWEEPS["disk"]
 exp_monitor_interval = ALL_SWEEPS["monitor"]
 exp_ablation_policy = ALL_SWEEPS["policy"]
+exp_churn_dynamics = ALL_SWEEPS["churn"]
 exp_ablation_blocksize = ALL_SWEEPS["blocksize"]
 exp_ablation_eld = ALL_SWEEPS["eld"]
 exp_ablation_loss = ALL_SWEEPS["loss"]

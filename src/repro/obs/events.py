@@ -45,6 +45,11 @@ EVENT_KINDS = frozenset({
     "monitor-broadcast",# periodic availability announcement
     "shortage",         # a memory node signalling local pressure
     "shortage-seen",    # an application node learning of a shortage
+    "migrate-ahead",    # proactive evacuation of a predicted shortage
+    # cluster dynamics (repro.cluster.dynamics)
+    "churn-level",      # a background-load trace step applied to a node
+    "node-fail",        # a memory node stopped lending mid-pass
+    "node-recover",     # a failed memory node resumed lending
     # network (repro.cluster)
     "net-msg",          # one delivered message
     "net-retransmit",   # one lost-and-retransmitted message
@@ -81,10 +86,15 @@ METRIC_NAMES = frozenset({
     "swap_outs", "swap_bytes_out", "swap_roundtrip_s",
     "net_messages", "net_wire_bytes", "message_size_bytes",
     "net_retransmissions",
-    "migrations", "lines_migrated",
+    "migrations", "lines_migrated", "migration_bytes",
     "placements", "placement_rejections",
+    "placement_latency_to_shortage_s",
+    "migrate_ahead_evacuations",
     "eviction_bursts", "eviction_victims",
     "monitor_available_bytes", "shortages",
+    # cluster dynamics (repro.cluster.dynamics)
+    "churn_steps", "churn_level_bytes",
+    "node_failures", "node_recoveries",
     "span_s",
     "sweep_runs", "sweep_run_wall_s",
     # distributed sweep queue / workers (repro.harness.sweep)

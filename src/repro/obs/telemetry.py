@@ -39,6 +39,8 @@ def run_meta(driver: str, config) -> dict:
         "n_memory_nodes": config.n_memory_nodes,
         "memory_limit_bytes": config.memory_limit_bytes,
         "replacement": config.replacement,
+        "placement": config.placement,
+        "churn": getattr(config, "churn", "none"),
         "minsup": config.minsup,
         "seed": config.seed,
     }
@@ -56,6 +58,13 @@ class _MetricsUpdater:
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
+        #: Last placement time per destination node, for the
+        #: latency-to-shortage histogram: how long after a policy last
+        #: routed traffic to a node did that node declare shortage?  A
+        #: policy that keeps feeding soon-to-be-hot nodes scores short
+        #: latencies here.
+        self._last_placement: dict[int, float] = {}
+        self._placement_policy: dict[int, str] = {}
 
     def __call__(self, event: ObsEvent) -> None:
         r = self.registry
@@ -94,11 +103,21 @@ class _MetricsUpdater:
             r.counter("migrations", node=node).inc()
             if "lines" in f:
                 r.counter("lines_migrated", node=node).inc(f["lines"])
+            if "bytes" in f:
+                r.counter("migration_bytes", node=node).inc(f["bytes"])
         elif kind == "placement":
             if "dst" in f:
-                r.counter("placements", dst=f["dst"]).inc()
+                r.counter(
+                    "placements", dst=f["dst"], policy=f.get("policy", "?")
+                ).inc()
+                self._last_placement[f["dst"]] = event.time
+                self._placement_policy[f["dst"]] = f.get("policy", "?")
         elif kind == "placement-reject":
-            r.counter("placement_rejections", node=node).inc()
+            r.counter(
+                "placement_rejections", node=node, policy=f.get("policy", "?")
+            ).inc()
+        elif kind == "migrate-ahead":
+            r.counter("migrate_ahead_evacuations", node=node).inc()
         elif kind == "make-room":
             r.counter("eviction_bursts", node=node).inc()
             if "victims" in f:
@@ -110,6 +129,21 @@ class _MetricsUpdater:
                 )
         elif kind == "shortage":
             r.counter("shortages", node=node).inc()
+            placed_at = self._last_placement.get(node)
+            if placed_at is not None:
+                r.histogram(
+                    "placement_latency_to_shortage_s",
+                    buckets=LATENCY_BUCKETS_S,
+                    policy=self._placement_policy.get(node, "?"),
+                ).observe(max(0.0, event.time - placed_at))
+        elif kind == "churn-level":
+            r.counter("churn_steps", node=node).inc()
+            if "level_bytes" in f:
+                r.gauge("churn_level_bytes", node=node).set(f["level_bytes"])
+        elif kind == "node-fail":
+            r.counter("node_failures", node=node).inc()
+        elif kind == "node-recover":
+            r.counter("node_recoveries", node=node).inc()
         elif kind == "span":
             if "duration_s" in f:
                 r.histogram(
@@ -193,6 +227,11 @@ class Telemetry:
             monitor.bus = self.bus
         for client in run.clients.values():
             client.bus = self.bus
+        dynamics = getattr(getattr(run, "runtime", None), "dynamics", None)
+        if dynamics is not None:
+            dynamics.bus = self.bus
+            for nd in dynamics.node_dynamics:
+                nd.bus = self.bus
         return run_id
 
     def begin_run(self, env, meta: Optional[dict] = None) -> int:

@@ -19,10 +19,11 @@ is bit-identical — pinned by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.cluster import Cluster
+from repro.cluster import Cluster, ClusterDynamics, FailureEvent
+from repro.cluster.specs import MB, PAPER_NODE, NodeSpec
 from repro.core import (
     DiskPager,
     MemoryManagementTable,
@@ -71,16 +72,24 @@ class ClusterRuntime:
     #: Per-app-node swap managers (always present; a manager without a
     #: pager simply never evicts).
     managers: dict[int, SwapManager]
+    #: The availability-dynamics subsystem (churn traces + failure
+    #: events); inert when ``config.churn == "none"`` and no failures
+    #: are scheduled, in which case it creates no simulation processes.
+    dynamics: ClusterDynamics
 
     def start_services(self) -> None:
-        """Start the availability machinery (clients, then monitors)."""
+        """Start the availability machinery (clients, then monitors,
+        then the cluster dynamics driving the monitors' truth)."""
         for client in self.clients.values():
             client.start()
         for monitor in self.monitors.values():
             monitor.start()
+        self.dynamics.start()
 
     def stop_services(self) -> None:
-        """Stop the availability machinery (monitors, then clients)."""
+        """Stop the availability machinery (dynamics first, then
+        monitors, then clients)."""
+        self.dynamics.stop()
         for monitor in self.monitors.values():
             monitor.stop()
         for client in self.clients.values():
@@ -124,7 +133,22 @@ def build_runtime(config: RunConfig) -> ClusterRuntime:
     validate_config(config)
     env = Environment()
     n_total = config.n_app_nodes + config.n_memory_nodes
-    cluster = Cluster(env, n_total)
+    if config.node_memory_factors is None:
+        cluster = Cluster(env, n_total)
+    else:
+        # Heterogeneous memory-node sizing: application nodes keep the
+        # paper spec; each memory node scales the 64 MB baseline.
+        specs: "list[NodeSpec]" = [PAPER_NODE] * config.n_app_nodes
+        for i, factor in enumerate(config.node_memory_factors):
+            nbytes = max(1 * MB, int(round(PAPER_NODE.memory_bytes * factor)))
+            specs.append(
+                replace(
+                    PAPER_NODE,
+                    name=f"{PAPER_NODE.name} x{factor:g} memory",
+                    memory_bytes=nbytes,
+                )
+            )
+        cluster = Cluster(env, n_total, specs=specs)
     if config.loss_probability > 0.0:
         cluster.network.loss_probability = config.loss_probability
     app_ids = list(range(config.n_app_nodes))
@@ -164,6 +188,9 @@ def build_runtime(config: RunConfig) -> ClusterRuntime:
                 clients[a], make_placement(config.placement),
                 stores, memory_nodes, fallback=fallback,
             )
+            # Proactive policies (migrate-ahead) drive this pager's
+            # migration machinery; the hook is a no-op for the rest.
+            pager.placement.attach_pager(pager)
         pagers[a] = pager
         managers[a] = SwapManager(
             cluster[a],
@@ -176,6 +203,15 @@ def build_runtime(config: RunConfig) -> ClusterRuntime:
         if pager is not None and a in clients:
             clients[a].shortage_handlers.append(pager.migrate_from)
 
+    dynamics = ClusterDynamics(
+        env,
+        monitors=monitors,
+        mem_ids=mem_ids,
+        churn=config.churn,
+        failures=tuple(FailureEvent(*f) for f in config.failures),
+        seed=config.seed,
+    )
+
     return ClusterRuntime(
         config=config,
         env=env,
@@ -187,4 +223,5 @@ def build_runtime(config: RunConfig) -> ClusterRuntime:
         clients=clients,
         pagers=pagers,
         managers=managers,
+        dynamics=dynamics,
     )

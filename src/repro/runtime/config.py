@@ -36,7 +36,13 @@ PAGERS = ("none", "disk", "remote", "remote-update")
 REPLACEMENT_POLICIES = ("lru", "fifo", "random")
 
 #: Valid ``placement`` values (see :func:`repro.core.placement.make_placement`).
-PLACEMENT_POLICIES = ("most-available", "round-robin")
+PLACEMENT_POLICIES = (
+    "most-available",
+    "round-robin",
+    "predictive",
+    "load-balancing",
+    "migrate-ahead",
+)
 
 #: Valid ``kernel`` values (see :mod:`repro.mining.kernels`).
 KERNELS = ("vector", "naive")
@@ -79,8 +85,30 @@ class RunConfig:
     #: and message counts are bit-identical — only host wall-clock
     #: differs (pinned by the kernel-equivalence tests).
     kernel: str = "vector"
+    #: Background-load trace driving every memory node's ledger over
+    #: simulated time (see :func:`repro.cluster.dynamics.parse_trace`):
+    #: ``"none"`` (default, the static pre-dynamics cluster) or a spec
+    #: like ``"sawtooth:period=0.04,low=0.1,high=0.9"``.
+    churn: str = "none"
+    #: Mid-pass node failures: ``(at_s, memory_node_index, down_s)``
+    #: triples — at ``at_s`` the node stops lending (shortage signal,
+    #: guests migrate off), ``down_s`` later it recovers.
+    failures: tuple = ()
+    #: Heterogeneous memory-node sizing: one multiplicative factor per
+    #: memory node applied to the paper node's 64 MB (``None`` = the
+    #: uniform cluster).
+    node_memory_factors: Optional[tuple] = None
 
     def __post_init__(self) -> None:
+        # Normalise JSON round-trip artefacts (lists -> tuples) before
+        # validation so configs hash and compare structurally.
+        object.__setattr__(
+            self, "failures", tuple(tuple(f) for f in self.failures)
+        )
+        if self.node_memory_factors is not None:
+            object.__setattr__(
+                self, "node_memory_factors", tuple(self.node_memory_factors)
+            )
         validate_config(self)
 
 
@@ -152,3 +180,39 @@ def validate_config(config: RunConfig) -> None:
                 "which exist only with memory-available nodes "
                 "(n_memory_nodes > 0)"
             )
+    # Cluster-dynamics axes: churn trace, failures, heterogeneous specs.
+    from repro.cluster.dynamics import parse_trace
+
+    trace = parse_trace(config.churn)  # raises ConfigError on a bad spec
+    if trace is not None and config.n_memory_nodes <= 0:
+        raise ConfigError(
+            "a churn trace drives the memory-available nodes' ledgers; "
+            "it needs n_memory_nodes > 0"
+        )
+    for entry in config.failures:
+        if len(entry) != 3:
+            raise ConfigError(
+                f"each failure is (at_s, memory_node_index, down_s), got {entry!r}"
+            )
+        at_s, node_index, down_s = entry
+        if at_s < 0:
+            raise ConfigError(f"failure time must be >= 0, got {at_s}")
+        if down_s <= 0:
+            raise ConfigError(f"failure down-time must be positive, got {down_s}")
+        if not (isinstance(node_index, int) and 0 <= node_index < config.n_memory_nodes):
+            raise ConfigError(
+                f"failure node index {node_index!r} must address one of "
+                f"{config.n_memory_nodes} memory nodes"
+            )
+    if config.node_memory_factors is not None:
+        if len(config.node_memory_factors) != config.n_memory_nodes:
+            raise ConfigError(
+                f"node_memory_factors needs one factor per memory node: "
+                f"got {len(config.node_memory_factors)} for "
+                f"{config.n_memory_nodes}"
+            )
+        for factor in config.node_memory_factors:
+            if not factor > 0:
+                raise ConfigError(
+                    f"node memory factors must be positive, got {factor}"
+                )

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 import numpy as np
 
 from repro.analysis.trace import TraceCollector, UtilizationSampler
+from repro.cluster.dynamics import scripted_shortage
 from repro.errors import MiningError
 from repro.obs import Telemetry, current_telemetry
 from repro.obs.telemetry import run_meta
@@ -177,8 +178,13 @@ class MiningDriver:
         self.runtime.start_services()
         if self.sampler is not None:
             self.sampler.start()
+        # Scripted shortages run as degenerate one-shot traces: a single
+        # step to 100 % pressure at the scheduled time, event-for-event
+        # identical to the historical harness-side injector (pinned by
+        # the runtime goldens).  Continuous dynamics — churn traces and
+        # failure events — were started by ``start_services`` above.
         for t, node_id in self.shortage_schedule:
-            self.env.process(self._shortage_injector(t, node_id))
+            self.env.process(scripted_shortage(self.env, self.monitors, t, node_id))
         main = self.env.process(self._main())
         self.env.run(until=main)
         self.runtime.stop_services()
@@ -198,12 +204,6 @@ class MiningDriver:
         return self.result
 
     # -- orchestration -----------------------------------------------------
-
-    def _shortage_injector(self, at: float, node_id: int) -> Generator:
-        yield self.env.timeout(at)
-        if node_id not in self.monitors:
-            raise MiningError(f"node {node_id} is not a memory-available node")
-        self.monitors[node_id].signal_shortage()
 
     def _barrier(self, generators: list[Generator]) -> Generator:
         procs = [self.env.process(g) for g in generators]

@@ -73,6 +73,15 @@ class Scenario:
     #: ``(virtual_time, memory_node_index)`` shortage injections; the
     #: index selects from the run's ``mem_ids``.
     shortages: tuple = ()
+    #: Swap-destination policy (see
+    #: :data:`repro.runtime.config.PLACEMENT_POLICIES`).
+    placement: str = "most-available"
+    #: Background-load trace spec for the memory nodes
+    #: (see :func:`repro.cluster.dynamics.parse_trace`); ``"none"``
+    #: keeps the static pre-dynamics cluster.
+    churn: str = "none"
+    #: Mid-pass node failures: ``(at_s, memory_node_index, down_s)``.
+    failures: tuple = ()
     eld_fraction: float = 0.0
     loss_probability: float = 0.0
     #: 2 = the paper's §5 experiments (pass 2 is the measured pass).
@@ -92,6 +101,9 @@ class Scenario:
         # Normalise JSON round-trip artefacts: lists -> nested tuples.
         object.__setattr__(
             self, "shortages", tuple(tuple(s) for s in self.shortages)
+        )
+        object.__setattr__(
+            self, "failures", tuple(tuple(f) for f in self.failures)
         )
 
     # -- serialisation -----------------------------------------------------
@@ -155,6 +167,9 @@ class Scenario:
             n_memory_nodes=self.n_memory_nodes,
             memory_limit_bytes=limit,
             replacement=self.replacement,
+            placement=self.placement,
+            churn=self.churn,
+            failures=self.failures,
             monitor_interval_s=self.monitor_interval_s,
             cost=cost,
             eld_fraction=self.eld_fraction,
@@ -395,6 +410,19 @@ for _s in (
         name="npa-remote-update",
         description="NPA under remote update paging (stress baseline)",
         driver="npa", pager="remote-update", n_memory_nodes=4,
+    ),
+    Scenario(
+        name="churning",
+        description="remote update under sawtooth background load",
+        pager="remote-update", n_memory_nodes=4,
+        churn="sawtooth:period=0.04,low=0.1,high=0.9",
+        placement="predictive",
+    ),
+    Scenario(
+        name="node-failure",
+        description="remote update with a mid-pass node failure + recovery",
+        pager="remote-update", n_memory_nodes=4,
+        failures=((0.05, 0, 0.04),),
     ),
 ):
     register_scenario(_s)

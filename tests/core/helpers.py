@@ -13,11 +13,11 @@ from repro.core import (
     MemoryManagementTable,
     MemoryMonitor,
     MonitorClient,
-    MostAvailableFirst,
     RemoteMemoryPager,
     RemoteStore,
     RemoteUpdatePager,
     SwapManager,
+    make_placement,
 )
 from repro.core.policies import make_policy
 from repro.sim import Environment
@@ -55,6 +55,7 @@ def make_rig(
     pager_kind: str = "remote",
     limit_bytes: int | None = 1000,
     policy: str = "lru",
+    placement: str = "most-available",
     cost: CostModel | None = None,
     monitor_interval: float | None = None,
 ) -> Rig:
@@ -97,17 +98,19 @@ def make_rig(
         elif pager_kind == "remote":
             pager = RemoteMemoryPager(
                 cluster[a], table, cost, cluster.network, clients[a],
-                MostAvailableFirst(), stores, memory_nodes,
+                make_placement(placement), stores, memory_nodes,
             )
         elif pager_kind == "remote-update":
             pager = RemoteUpdatePager(
                 cluster[a], table, cost, cluster.network, clients[a],
-                MostAvailableFirst(), stores, memory_nodes,
+                make_placement(placement), stores, memory_nodes,
             )
         elif pager_kind == "none":
             pager = None
         else:
             raise ValueError(pager_kind)
+        if pager is not None and pager_kind != "disk":
+            pager.placement.attach_pager(pager)
         rig.pagers[a] = pager
         rig.managers[a] = SwapManager(
             cluster[a],

@@ -16,7 +16,14 @@ def test_list_scenarios_flag(capsys):
     out = capsys.readouterr().out
     assert "named scenarios" in out
     assert "baseline" in out and "remote-update" in out
-    assert "[hpa]" in out and "[npa]" in out
+    assert " hpa " in out and " npa " in out
+    # The placement/replacement/churn columns, with the dynamics
+    # scenarios showing their non-default axes.
+    assert "placement" in out and "repl" in out and "churn" in out
+    churning = next(line for line in out.splitlines() if "churning" in line)
+    assert "predictive" in churning and "sawtooth" in churning
+    failure = next(line for line in out.splitlines() if "node-failure" in line)
+    assert "fail" in failure
 
 
 def test_no_args_lists(capsys):

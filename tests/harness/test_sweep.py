@@ -48,7 +48,7 @@ def _toy_sweep(**overrides):
 
 
 def test_every_experiment_is_a_sweep():
-    assert len(ALL_SWEEPS) == 15
+    assert len(ALL_SWEEPS) == 16
     for name, sweep in ALL_SWEEPS.items():
         assert isinstance(sweep, Sweep)
         assert sweep.name == name

@@ -47,6 +47,40 @@ def test_report_bytes_survive_hash_randomization(tmp_path):
     assert bytes_a == bytes_b
 
 
+def _run_churn(hashseed: str, out_dir: Path) -> Path:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(REPO / "src")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.harness.cli",
+            "churn", "--scale", "tiny", "--json", str(out_dir),
+        ],
+        env=env,
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = out_dir / "churn.json"
+    assert report.is_file(), sorted(out_dir.iterdir())
+    return report
+
+
+def test_churn_sweep_bytes_survive_hash_randomization(tmp_path):
+    """The churn sweep rides on seeded numpy generators (bursty gaps,
+    sawtooth stagger); its report must still be a pure function of the
+    configuration under interpreter hash randomisation."""
+    a = _run_churn("0", tmp_path / "seed0")
+    b = _run_churn("1", tmp_path / "seed1")
+    bytes_a = a.read_bytes()
+    bytes_b = b.read_bytes()
+    assert bytes_a, "empty report"
+    assert bytes_a == bytes_b
+
+
 def _run_statistical_report(hashseed: str, out_dir: Path) -> "list[Path]":
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hashseed

@@ -139,4 +139,67 @@ def test_catalogue_constants_are_consistent():
     assert "none" in PAGERS and "remote-update" in PAGERS
     assert "lru" in REPLACEMENT_POLICIES
     assert "most-available" in PLACEMENT_POLICIES
+    assert "migrate-ahead" in PLACEMENT_POLICIES
     assert "vector" in KERNELS
+
+
+# --- cluster-dynamics axes -------------------------------------------------
+
+def test_accepts_churn_trace_with_memory_nodes():
+    cfg = RunConfig(
+        pager="remote", n_memory_nodes=2,
+        churn="sawtooth:period=0.04,low=0.1,high=0.9",
+    )
+    assert cfg.churn.startswith("sawtooth")
+
+
+@pytest.mark.parametrize("spec", ["wobble", "constant:frac=1.5", "sawtooth:steps=1"])
+def test_rejects_malformed_churn_spec(spec):
+    with pytest.raises(ConfigError):
+        RunConfig(pager="remote", n_memory_nodes=2, churn=spec)
+
+
+def test_rejects_churn_without_memory_nodes():
+    with pytest.raises(ConfigError, match="n_memory_nodes"):
+        RunConfig(churn="constant:frac=0.5")
+
+
+def test_failures_normalised_to_nested_tuples():
+    cfg = RunConfig(
+        pager="remote", n_memory_nodes=2, failures=[[0.05, 1, 0.02]]
+    )
+    assert cfg.failures == ((0.05, 1, 0.02),)
+
+
+@pytest.mark.parametrize(
+    "failures, match",
+    [
+        (((0.05, 1),), "at_s, memory_node_index, down_s"),
+        (((-0.1, 1, 0.02),), "failure time"),
+        (((0.05, 1, 0.0),), "down-time"),
+        (((0.05, 5, 0.02),), "node index"),
+        (((0.05, 1.5, 0.02),), "node index"),
+    ],
+)
+def test_rejects_malformed_failures(failures, match):
+    with pytest.raises(ConfigError, match=match):
+        RunConfig(pager="remote", n_memory_nodes=2, failures=failures)
+
+
+def test_node_memory_factors_normalised_to_tuple():
+    cfg = RunConfig(
+        pager="remote", n_memory_nodes=2, node_memory_factors=[0.5, 2.0]
+    )
+    assert cfg.node_memory_factors == (0.5, 2.0)
+
+
+def test_rejects_factor_count_mismatch():
+    with pytest.raises(ConfigError, match="one factor per memory node"):
+        RunConfig(pager="remote", n_memory_nodes=2, node_memory_factors=(0.5,))
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_rejects_nonpositive_memory_factor(bad):
+    with pytest.raises(ConfigError, match="positive"):
+        RunConfig(pager="remote", n_memory_nodes=2,
+                  node_memory_factors=(1.0, bad))
