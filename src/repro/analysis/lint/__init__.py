@@ -6,12 +6,15 @@ AST-level checkers for the invariants generic linters cannot see:
 Code      Rule                        Protects
 ========  ==========================  =========================================
 RPL101    host-clock-in-sim           virtual-time purity of simulation layers
+RPL102    host-clock-off-allowlist    the audited harness host-clock scope
 RPL201    unseeded-randomness         run reproducibility, cache addressing
 RPL202    unordered-set-iteration     byte-identity under PYTHONHASHSEED
 RPL301    undeclared-event-kind       the telemetry event contract
 RPL302    undeclared-metric-name      the metrics-registry contract
 RPL401    frozen-config-mutation      content-addressed result storage
 RPL501    float-equality-in-codec     the exact repr float codec
+RPL601    race-shared-unhooked        race-sanitizer visibility of shared state
+RPL602    unmarked-shared-class       sanitizer coverage of multi-process state
 ========  ==========================  =========================================
 
 See DESIGN.md §12 for the catalogue and rationale; run ``repro-lint

@@ -21,6 +21,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.lint.contracts import EventKindChecker, MetricNameChecker
+from repro.analysis.lint.dataflow import RaceDataflowChecker
 from repro.analysis.lint.determinism import (
     SetIterationChecker,
     UnseededRandomChecker,
@@ -41,6 +42,7 @@ ALL_CHECKERS: "tuple[type[Checker], ...]" = (
     MetricNameChecker,
     FrozenConfigChecker,
     FloatEqualityChecker,
+    RaceDataflowChecker,
 )
 
 

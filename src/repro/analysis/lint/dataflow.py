@@ -1,0 +1,548 @@
+"""RPL601/RPL602 — shared mutable state must carry race access hooks.
+
+The dynamic sanitizer (:mod:`repro.analysis.race`) only sees accesses
+that go through an installed hook (``self._race.read/write``); a shared
+object *without* hooks is invisible to it, which is precisely how a
+schedule race hides.  This pass closes that hole statically, over one
+whole-program parse (:class:`~repro.analysis.lint.framework
+.ProgramChecker`):
+
+- **RPL601** — a class *marked* ``__race_shared__ = True`` promises
+  that every mutating method either records the access (references
+  ``self._race`` / ``TRACKER``) or is audited with a ``# repro-race:
+  ordered`` pragma.  A mutating method doing neither is flagged.
+
+- **RPL602** — a class in the shared-state layers (``repro.core``,
+  ``repro.cluster``, ``repro.mining``) that is *not* marked, but whose
+  mutating methods are reachable — through the cross-module call graph
+  — from two or more distinct simulation-process roots, is exactly the
+  kind of object the sanitizer cannot see.  Mark it (and hook it) or
+  suppress with a justification comment.
+
+The call graph is a static approximation: process roots are the
+generator targets of ``env.process(...)`` / ``post(...)`` spawn sites
+and of the drivers' ``_barrier([...])`` lists; edges follow
+``self.method()`` calls, attribute-typed calls (``self.pager.evict()``
+resolved through ``__init__`` assignments and annotations), and
+module-level helper functions.  Unresolvable targets are dropped, so
+the pass under- rather than over-approximates reachability.
+
+Mutations of ``self.stats.*`` are exempt: per-component counters are
+single-owner accounting whose increments commute, and the statistical
+reports never depend on their intra-epoch order.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.lint.framework import (
+    Finding,
+    LintContext,
+    ProgramChecker,
+)
+
+__all__ = ["RaceDataflowChecker"]
+
+#: Container methods that mutate their receiver.
+MUTATORS = frozenset({
+    "append", "extend", "insert", "pop", "popitem", "clear", "update",
+    "add", "remove", "discard", "setdefault",
+})
+
+#: Packages whose unmarked classes RPL602 examines.
+_SHARED_LAYERS = ("repro.core", "repro.cluster", "repro.mining")
+
+#: Methods that run before/after the simulation, single-threaded.
+_CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
+
+#: Attribute chains through these first segments are exempt mutations.
+_EXEMPT_SEGMENTS = {"stats"}
+
+_RACE_PRAGMA = re.compile(r"#\s*repro-race:\s*ordered")
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _self_chain(node: ast.AST) -> Optional[list[str]]:
+    """``self.a.b`` -> ``["a", "b"]``; None when not rooted at self."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self":
+        return list(reversed(parts))
+    return None
+
+
+@dataclass
+class _Method:
+    name: str
+    node: ast.AST
+    lineno: int
+    end_lineno: int
+    mutations: list[ast.AST] = field(default_factory=list)
+    has_hook: bool = False
+    #: ("self", m) | ("attr", (a1, ...), m) | ("name", f)
+    calls: list[tuple] = field(default_factory=list)
+    #: Spawn targets found inside this method (root candidates).
+    spawns: list[tuple] = field(default_factory=list)
+
+
+@dataclass
+class _Class:
+    module: str
+    name: str
+    ctx: LintContext
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    marked: bool = False
+    methods: dict = field(default_factory=dict)
+    attr_types: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Func:
+    module: str
+    name: str
+    calls: list[tuple] = field(default_factory=list)
+    spawns: list[tuple] = field(default_factory=list)
+
+
+class RaceDataflowChecker(ProgramChecker):
+    """Cross-module shared-state dataflow for the race sanitizer."""
+
+    code = "RPL601"
+    name = "race-shared-unhooked-mutation"
+    hint = (
+        "record the access (self._race.write(self, <cell>)) before "
+        "mutating, or audit the method with '# repro-race: ordered -- "
+        "<why>'"
+    )
+    _hint_602 = (
+        "state reachable from several simulation processes is invisible "
+        "to repro-race without hooks: mark the class __race_shared__ "
+        "and add access hooks, or suppress with a justified "
+        "'# repro-lint: disable=RPL602' comment"
+    )
+    codes = (
+        ("RPL601", "race-shared-unhooked-mutation", hint),
+        ("RPL602", "unmarked-shared-mutable-class", _hint_602),
+    )
+
+    def __init__(self) -> None:
+        self._classes: dict[tuple[str, str], _Class] = {}
+        self._by_name: dict[str, list[_Class]] = {}
+        self._funcs: dict[tuple[str, str], _Func] = {}
+        self._roots: set[tuple] = set()
+        #: (module, class) -> set of roots reaching a mutating method.
+        self._reached: dict[tuple[str, str], set[tuple]] = {}
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_repro
+
+    # -- phase 1: collect --------------------------------------------------
+
+    def prepare(self, contexts: Sequence[LintContext]) -> None:
+        self.__init__()
+        for ctx in contexts:
+            if not ctx.in_repro:
+                continue
+            self._collect(ctx)
+        self._resolve_marks()
+        self._trace_roots()
+
+    def _collect(self, ctx: LintContext) -> None:
+        assert ctx.module is not None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._collect_class(ctx, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func = _Func(module=ctx.module, name=node.name)
+                self._scan_calls(node, func.calls, func.spawns)
+                self._funcs[(ctx.module, node.name)] = func
+
+    def _collect_class(self, ctx: LintContext, node: ast.ClassDef) -> None:
+        assert ctx.module is not None
+        info = _Class(
+            module=ctx.module,
+            name=node.name,
+            ctx=ctx,
+            node=node,
+            bases=[b for b in map(self._base_name, node.bases) if b],
+        )
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    if isinstance(t, ast.Name) and t.id == "__race_shared__":
+                        info.marked = True
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "__race_shared__"
+                ):
+                    info.marked = True
+                elif isinstance(stmt.target, ast.Name):
+                    t = self._annotation_type(stmt.annotation)
+                    if t:
+                        info.attr_types[stmt.target.id] = t
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[stmt.name] = self._collect_method(ctx, stmt)
+                if stmt.name == "__init__":
+                    self._collect_attr_types(stmt, info)
+        self._classes[(info.module, info.name)] = info
+        self._by_name.setdefault(info.name, []).append(info)
+
+    def _collect_method(self, ctx: LintContext, node: ast.AST) -> _Method:
+        start = min(
+            [node.lineno] + [d.lineno for d in node.decorator_list]
+        )
+        method = _Method(
+            name=node.name,
+            node=node,
+            lineno=start,
+            end_lineno=node.end_lineno or node.lineno,
+        )
+        lines = ctx.source.splitlines()
+        for line in lines[start - 1:method.end_lineno]:
+            if _RACE_PRAGMA.search(line):
+                method.has_hook = True
+                break
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr == "_race":
+                method.has_hook = True
+            elif isinstance(sub, ast.Name) and sub.id == "TRACKER":
+                method.has_hook = True
+        if node.name not in _CONSTRUCTORS:
+            self._scan_mutations(node, method)
+        self._scan_calls(node, method.calls, method.spawns)
+        return method
+
+    def _scan_mutations(self, node: ast.AST, method: _Method) -> None:
+        for sub in ast.walk(node):
+            targets: list[ast.AST] = []
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                if getattr(sub, "value", None) is not None:
+                    targets = [sub.target]
+            elif isinstance(sub, ast.Delete):
+                targets = sub.targets
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATORS
+                ):
+                    chain = _self_chain(func.value)
+                    if chain and chain[0] not in _EXEMPT_SEGMENTS:
+                        method.mutations.append(sub)
+                continue
+            for t in targets:
+                if isinstance(t, ast.Subscript):
+                    t = t.value
+                chain = _self_chain(t)
+                if not chain or chain == ["_race"]:
+                    continue
+                if chain[0] in _EXEMPT_SEGMENTS:
+                    continue
+                method.mutations.append(t)
+
+    def _scan_calls(
+        self, node: ast.AST, calls: list[tuple], spawns: list[tuple]
+    ) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Name):
+                calls.append(("name", func.id))
+            elif isinstance(func, ast.Attribute):
+                chain = _self_chain(func.value)
+                if chain is not None:
+                    if chain:
+                        calls.append(("attr", tuple(chain), func.attr))
+                    else:
+                        calls.append(("self", func.attr))
+                if func.attr in ("process", "post") or func.attr == "_barrier":
+                    spawns.extend(self._spawn_targets(sub))
+            if isinstance(func, ast.Name) and func.id == "_barrier":
+                spawns.extend(self._spawn_targets(sub))
+
+    def _spawn_targets(self, call: ast.Call) -> list[tuple]:
+        """Generator targets named by one spawn-site call's arguments."""
+        out: list[tuple] = []
+        for arg in call.args:
+            elements: list[ast.AST]
+            if isinstance(arg, (ast.List, ast.Tuple, ast.Set)):
+                elements = list(arg.elts)
+            elif isinstance(arg, (ast.ListComp, ast.GeneratorExp)):
+                elements = [arg.elt]
+            else:
+                elements = [arg]
+            for el in elements:
+                if not isinstance(el, ast.Call):
+                    continue
+                f = el.func
+                if isinstance(f, ast.Name):
+                    out.append(("name", f.id))
+                elif isinstance(f, ast.Attribute):
+                    chain = _self_chain(f.value)
+                    if chain is not None:
+                        if chain:
+                            out.append(("attr", tuple(chain), f.attr))
+                        else:
+                            out.append(("self", f.attr))
+        return out
+
+    def _collect_attr_types(self, init: ast.AST, info: _Class) -> None:
+        annotated: dict[str, str] = {}
+        for arg in list(init.args.args) + list(init.args.kwonlyargs):
+            if arg.annotation is not None:
+                t = self._annotation_type(arg.annotation)
+                if t:
+                    annotated[arg.arg] = t
+        for sub in ast.walk(init):
+            if isinstance(sub, ast.AnnAssign) and sub.target is not None:
+                chain = _self_chain(sub.target)
+                if chain and len(chain) == 1:
+                    t = self._annotation_type(sub.annotation)
+                    if t:
+                        info.attr_types.setdefault(chain[0], t)
+            if not isinstance(sub, ast.Assign):
+                continue
+            for target in sub.targets:
+                chain = _self_chain(target)
+                if not chain or len(chain) != 1:
+                    continue
+                value = sub.value
+                if isinstance(value, ast.Call) and isinstance(
+                    value.func, ast.Name
+                ):
+                    info.attr_types.setdefault(chain[0], value.func.id)
+                elif isinstance(value, ast.Name) and value.id in annotated:
+                    info.attr_types.setdefault(chain[0], annotated[value.id])
+
+    def _annotation_type(self, annotation: ast.AST) -> Optional[str]:
+        """The one collected-class identifier inside an annotation, if
+        unambiguous (handles ``X``, ``"X"``, ``Optional["X"]``...)."""
+        try:
+            text = ast.unparse(annotation)
+        except Exception:  # pragma: no cover - defensive
+            return None
+        names = set(_IDENT.findall(text)) - {
+            "Optional", "Union", "None", "dict", "list", "tuple", "set",
+            "int", "str", "float", "bool",
+        }
+        return names.pop() if len(names) == 1 else None
+
+    def _base_name(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Subscript):  # Generic[...] bases
+            return self._base_name(node.value)
+        return None
+
+    # -- phase 2: resolve marks through inheritance ------------------------
+
+    def _resolve_marks(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for info in self._classes.values():
+                if info.marked:
+                    continue
+                for base in self._mro(info)[1:]:
+                    if base.marked:
+                        info.marked = True
+                        changed = True
+                        break
+
+    def _mro(self, info: _Class) -> list[_Class]:
+        """This class plus transitively resolved bases (name-based,
+        same-module preferred; cycles and unknowns dropped)."""
+        out: list[_Class] = []
+        seen: set[tuple[str, str]] = set()
+        stack = [info]
+        while stack:
+            cur = stack.pop(0)
+            key = (cur.module, cur.name)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(cur)
+            for base in cur.bases:
+                resolved = self._resolve_class(base, cur.module)
+                if resolved is not None:
+                    stack.append(resolved)
+        return out
+
+    def _resolve_class(self, name: str, module: str) -> Optional[_Class]:
+        candidates = self._by_name.get(name)
+        if not candidates:
+            return None
+        for c in candidates:
+            if c.module == module:
+                return c
+        return candidates[0] if len(candidates) == 1 else None
+
+    def _find_method(
+        self, info: _Class, name: str
+    ) -> Optional[tuple[_Class, _Method]]:
+        for cls in self._mro(info):
+            m = cls.methods.get(name)
+            if m is not None:
+                return cls, m
+        return None
+
+    def _attr_type_of(self, info: _Class, attr: str) -> Optional[_Class]:
+        for cls in self._mro(info):
+            t = cls.attr_types.get(attr)
+            if t is not None:
+                return self._resolve_class(t, cls.module)
+        return None
+
+    # -- phase 3: roots and reachability -----------------------------------
+
+    def _trace_roots(self) -> None:
+        roots: list[tuple[tuple, Optional[_Class], str, tuple]] = []
+        for info in self._classes.values():
+            for method in info.methods.values():
+                for spawn in method.spawns:
+                    target = self._resolve_target(spawn, info, info.module)
+                    if target is not None:
+                        roots.append((target[0], target[1], target[2], spawn))
+        for func in self._funcs.values():
+            for spawn in func.spawns:
+                target = self._resolve_target(spawn, None, func.module)
+                if target is not None:
+                    roots.append((target[0], target[1], target[2], spawn))
+        for key, owner, name, _spawn in roots:
+            self._roots.add(key)
+            self._walk(key, owner, name)
+
+    def _resolve_target(
+        self, call: tuple, info: Optional[_Class], module: str
+    ) -> Optional[tuple[tuple, Optional[_Class], str]]:
+        """(root key, owning class or None, callable name)."""
+        kind = call[0]
+        if kind == "self" and info is not None:
+            found = self._find_method(info, call[1])
+            if found is not None:
+                cls, m = found
+                return ((cls.module, cls.name, m.name), info, m.name)
+        elif kind == "attr" and info is not None:
+            cur: Optional[_Class] = info
+            for attr in call[1]:
+                if cur is None:
+                    return None
+                cur = self._attr_type_of(cur, attr)
+            if cur is not None:
+                found = self._find_method(cur, call[2])
+                if found is not None:
+                    cls, m = found
+                    return ((cls.module, cls.name, m.name), cur, m.name)
+        elif kind == "name":
+            func = self._funcs.get((module, call[1]))
+            if func is not None:
+                return ((module, func.name), None, func.name)
+        return None
+
+    def _walk(self, root: tuple, owner: Optional[_Class], name: str) -> None:
+        seen: set[tuple] = set()
+        stack: list[tuple] = (
+            [("m", owner, name)] if owner is not None
+            else [("f", root[0], name)]
+        )
+        while stack:
+            entry = stack.pop()
+            context: Optional[_Class]
+            if entry[0] == "m":
+                _, cls, callee = entry
+                found = self._find_method(cls, callee)
+                if found is None:
+                    continue
+                defining, method = found
+                key = (
+                    "m", defining.module, defining.name, callee,
+                    cls.module, cls.name,
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                if method.mutations:
+                    # Attribute the mutation to the *receiver's* class.
+                    self._reached.setdefault(
+                        (cls.module, cls.name), set()
+                    ).add(root)
+                calls, module, context = method.calls, defining.module, cls
+            else:
+                _, module, fname = entry
+                func = self._funcs.get((module, fname))
+                if func is None:
+                    continue
+                key = ("f", module, fname)
+                if key in seen:
+                    continue
+                seen.add(key)
+                calls, context = func.calls, None
+            for call in calls:
+                target = self._resolve_target(call, context, module)
+                if target is None:
+                    continue
+                tkey, t_owner, t_name = target
+                if t_owner is not None:
+                    stack.append(("m", t_owner, t_name))
+                else:
+                    stack.append(("f", tkey[0], t_name))
+
+    # -- phase 4: report ---------------------------------------------------
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for info in self._classes.values():
+            if info.ctx.path != ctx.path:
+                continue
+            if info.marked:
+                yield from self._check_marked(ctx, info)
+            elif info.ctx.module_startswith(*_SHARED_LAYERS):
+                yield from self._check_unmarked(ctx, info)
+
+    def _check_marked(self, ctx: LintContext, info: _Class) -> Iterator[Finding]:
+        for method in info.methods.values():
+            if method.has_hook or not method.mutations:
+                continue
+            yield self.finding(
+                ctx,
+                method.node,
+                f"mutating method {info.name}.{method.name} of a "
+                f"__race_shared__ class neither records the access "
+                f"through self._race nor carries a repro-race pragma",
+            )
+
+    def _check_unmarked(self, ctx: LintContext, info: _Class) -> Iterator[Finding]:
+        roots = self._reached.get((info.module, info.name), set())
+        if len(roots) < 2:
+            return
+        mutators = sorted(
+            m.name for m in info.methods.values() if m.mutations
+        )
+        if not mutators:
+            return
+        names = ", ".join(
+            ".".join(str(p) for p in r[-2:]) for r in sorted(roots)[:4]
+        )
+        yield self.finding(
+            ctx,
+            info.node,
+            f"class {info.name} has mutating methods "
+            f"({', '.join(mutators[:4])}) reachable from "
+            f"{len(roots)} simulation-process roots ({names}) but is "
+            f"not __race_shared__ and records no accesses",
+            code="RPL602",
+            hint=self._hint_602,
+        )

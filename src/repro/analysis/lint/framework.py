@@ -43,11 +43,13 @@ __all__ = [
     "Finding",
     "LintContext",
     "Checker",
+    "ProgramChecker",
     "LintReport",
     "lint_file",
     "lint_paths",
     "collect_files",
     "module_name_for",
+    "parse_context",
 ]
 
 #: Directories never entered during a lint walk.
@@ -163,6 +165,23 @@ class Checker:
         )
 
 
+class ProgramChecker(Checker):
+    """A checker that needs the *whole program* before judging one file.
+
+    Per-file rules see one AST at a time; rules like "shared mutable
+    state reachable from several simulation processes lacks an access
+    hook" need the cross-module call graph.  The runner parses every
+    file first, hands all contexts to :meth:`prepare` exactly once, and
+    only then runs :meth:`check` per file.  ``lint_file`` on a single
+    explicit file prepares with just that file, so fixture tests still
+    pin single-file behaviour.
+    """
+
+    def prepare(self, contexts: Sequence[LintContext]) -> None:
+        """Digest every parsed file before any :meth:`check` call."""
+        raise NotImplementedError
+
+
 def module_name_for(path: Path) -> Optional[str]:
     """Dotted ``repro.*`` module name of ``path``, or ``None``.
 
@@ -234,7 +253,9 @@ def resolve_call(node: ast.Call, aliases: dict[str, str]) -> Optional[str]:
 # Suppression pragmas
 # ---------------------------------------------------------------------------
 
-def _suppressions(source: str) -> tuple[set[str], dict[int, set[str]]]:
+def _suppressions(
+    source: str, tree: Optional[ast.Module] = None
+) -> tuple[set[str], dict[int, set[str]]]:
     """(file-wide codes, line -> codes) from ``# repro-lint:`` pragmas."""
     file_wide: set[str] = set()
     by_line: dict[int, set[str]] = {}
@@ -247,7 +268,35 @@ def _suppressions(source: str) -> tuple[set[str], dict[int, set[str]]]:
             file_wide |= codes
         else:
             by_line.setdefault(i, set()).update(codes)
+    if tree is not None and by_line:
+        _alias_decorator_pragmas(tree, by_line)
     return file_wide, by_line
+
+
+def _alias_decorator_pragmas(
+    tree: ast.Module, by_line: dict[int, set[str]]
+) -> None:
+    """Bind decorator-line pragmas to the decorated ``def``/``class``.
+
+    Checkers report a decorated definition at its ``def`` line, but the
+    pragma naturally lands on the construct's visual top — the first
+    decorator line.  Without this aliasing the suppression silently
+    missed (the historical bug this pins): the pragma sat on
+    ``@property`` while the finding pointed three lines down.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        start = min(d.lineno for d in node.decorator_list)
+        aliased: set[str] = set()
+        for line in range(start, node.lineno):
+            aliased |= by_line.get(line, set())
+        if aliased:
+            by_line.setdefault(node.lineno, set()).update(aliased)
 
 
 # ---------------------------------------------------------------------------
@@ -315,20 +364,27 @@ def collect_files(paths: Iterable["str | Path"]) -> list[Path]:
     return sorted(out)
 
 
-def lint_file(
-    path: "str | Path", checkers: Sequence[Checker]
-) -> "tuple[list[Finding], Optional[str]]":
-    """Run ``checkers`` over one file; returns (findings, parse-error)."""
+def parse_context(path: "str | Path") -> "tuple[Optional[LintContext], Optional[str]]":
+    """Parse one file into a :class:`LintContext`; returns (ctx, error)."""
     path = Path(path)
     try:
         source = path.read_text()
         tree = ast.parse(source, filename=str(path))
     except (OSError, SyntaxError) as exc:
-        return [], f"{path}: {exc}"
-    ctx = LintContext(
-        path=path, source=source, tree=tree, module=module_name_for(path)
+        return None, f"{path}: {exc}"
+    return (
+        LintContext(
+            path=path, source=source, tree=tree, module=module_name_for(path)
+        ),
+        None,
     )
-    file_wide, by_line = _suppressions(source)
+
+
+def _check_context(
+    ctx: LintContext, checkers: Sequence[Checker]
+) -> list[Finding]:
+    """Run prepared ``checkers`` over one parsed file."""
+    file_wide, by_line = _suppressions(ctx.source, ctx.tree)
     findings: set[Finding] = set()
     for checker in checkers:
         if not checker.applies_to(ctx):
@@ -337,7 +393,24 @@ def lint_file(
             if f.code in file_wide or f.code in by_line.get(f.line, ()):
                 continue
             findings.add(f)
-    return sorted(findings), None
+    return sorted(findings)
+
+
+def lint_file(
+    path: "str | Path", checkers: Sequence[Checker]
+) -> "tuple[list[Finding], Optional[str]]":
+    """Run ``checkers`` over one file; returns (findings, parse-error).
+
+    Program checkers are prepared with just this file — single-file
+    runs judge the file as a self-contained program.
+    """
+    ctx, err = parse_context(path)
+    if ctx is None:
+        return [], err
+    for checker in checkers:
+        if isinstance(checker, ProgramChecker):
+            checker.prepare([ctx])
+    return _check_context(ctx, checkers), None
 
 
 def lint_paths(
@@ -357,12 +430,20 @@ def lint_paths(
         or any(code in wanted for code, _, _ in c.catalogue())
     ]
     files = collect_files(paths)
-    findings: list[Finding] = []
+    contexts: list[LintContext] = []
     errors: list[str] = []
     for f in files:
-        found, err = lint_file(f, active)
+        ctx, err = parse_context(f)
         if err is not None:
             errors.append(err)
+        if ctx is not None:
+            contexts.append(ctx)
+    for checker in active:
+        if isinstance(checker, ProgramChecker):
+            checker.prepare(contexts)
+    findings: list[Finding] = []
+    for ctx in contexts:
+        found = _check_context(ctx, active)
         if wanted is not None:
             found = [x for x in found if x.code in wanted]
         findings.extend(found)

@@ -1,0 +1,89 @@
+"""The access-hook seam between shared sim state and the race tracker.
+
+This module is deliberately dependency-free (stdlib only) so every
+layer — ``repro.sim``, ``repro.core``, ``repro.cluster`` — can import
+it at module scope without cycles.  It holds exactly one piece of
+state: the module-global :data:`TRACKER` slot.
+
+Instrumented classes follow the telemetry-bus idiom (attribute is
+``None`` until something attaches): they snapshot the slot once at
+construction time ::
+
+    from repro.analysis.race import access as _race
+
+    class MemoryLedger:
+        def __init__(self, ...):
+            self._race = _race.TRACKER          # None when not tracing
+
+        def allocate(self, nbytes):
+            if self._race is not None:
+                self._race.write(self, "bytes")
+            ...
+
+so the instrumentation-off cost is a single attribute load and branch
+on the slow paths that carry hooks — and *zero* on the kernel hot loop,
+which dispatches to a separate traced loop only when a tracker is
+installed (see :meth:`repro.sim.engine.Environment.run`).
+
+Consequence of the snapshot idiom: install the tracker *before*
+constructing the runtime under test.  :func:`session` is the intended
+shape — build and run everything inside the ``with`` block.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class AccessTracker(Protocol):
+    """What instrumented objects need from a tracker.
+
+    ``obj`` identifies the shared object (labelled deterministically at
+    first sight); ``field`` names the logical cell inside it — a plain
+    string for scalar state (``"bytes"``) or a ``(name, key)`` tuple
+    for keyed collections (``("lines", line_id)``).
+    """
+
+    def read(self, obj: object, field: object) -> None: ...
+
+    def write(self, obj: object, field: object) -> None: ...
+
+
+#: The single global tracker slot.  ``None`` (the default) means the
+#: sanitizer is off and every hook is a dead branch.
+TRACKER: Optional[AccessTracker] = None
+
+
+def installed() -> Optional[AccessTracker]:
+    """The currently installed tracker, if any."""
+    return TRACKER
+
+
+def install(tracker: AccessTracker) -> None:
+    """Install ``tracker`` into the global slot (must be empty)."""
+    global TRACKER
+    if TRACKER is not None:
+        raise RuntimeError("a race tracker is already installed")
+    TRACKER = tracker
+
+
+def uninstall() -> None:
+    """Clear the global slot."""
+    global TRACKER
+    TRACKER = None
+
+
+@contextmanager
+def session(tracker: AccessTracker) -> Iterator[AccessTracker]:
+    """Install ``tracker`` for the duration of a ``with`` block.
+
+    Construct the runtime under test *inside* the block so constructor
+    snapshots of the slot see the tracker.
+    """
+    install(tracker)
+    try:
+        yield tracker
+    finally:
+        uninstall()

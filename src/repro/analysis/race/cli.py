@@ -1,0 +1,94 @@
+"""``repro-race`` — run the schedule-race sanitizer over the standard suite.
+
+Usage::
+
+    repro-race                        # all goldens + churning + node-failure
+    repro-race --run hpa-remote --run churning
+    repro-race --list                 # print the suite's run names
+    repro-race --json                 # machine-readable report on stdout
+    repro-race --output repro-race.json
+
+Exit codes follow the ``repro-lint`` conventions: 0 when every conflict
+is covered by an audited ``# repro-race: ordered -- <why>`` pragma,
+1 when unaudited conflicts or justification-less pragmas remain,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.race.suite import run_suite, suite_names
+
+__all__ = ["main"]
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-race",
+        description="schedule-race sanitizer for the DES runtime",
+    )
+    parser.add_argument(
+        "--run",
+        action="append",
+        metavar="NAME",
+        help="sanitize only this run (repeatable); default: the full suite",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list suite run names and exit"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the JSON report to stdout"
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", help="also write the JSON report to PATH"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; keep both.
+        return int(exc.code or 0)
+
+    if args.list:
+        for name in suite_names():
+            print(name)
+        return 0
+
+    known = set(suite_names())
+    if args.run:
+        unknown = [name for name in args.run if name not in known]
+        if unknown:
+            print(
+                f"repro-race: unknown run(s) {unknown}; "
+                f"see repro-race --list",
+                file=sys.stderr,
+            )
+            return 2
+
+    def progress(name: str, stats: dict) -> None:
+        if not args.quiet and not args.json:
+            print(
+                f"repro-race: {name}: {stats['events']} events, "
+                f"{stats['epochs']} epochs, {stats['accesses']} accesses, "
+                f"{stats['conflicts']} conflict(s)"
+            )
+
+    report = run_suite(args.run, progress=progress)
+    if args.output:
+        report.dump(Path(args.output))
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    sys.exit(main())

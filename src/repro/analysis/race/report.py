@@ -1,0 +1,300 @@
+"""Race findings, the pragma audit trail, and the deterministic report.
+
+A :class:`Conflict` is a pair of accesses to the same logical cell of a
+shared object, made by two events of the same scheduling epoch whose
+relative order the kernel does not define.  Conflicts that an audit has
+shown to be genuinely order-independent are waived in the source with ::
+
+    # repro-race: ordered -- counts are commutative increments
+
+placed inside the function that makes the access.  The justification
+after ``--`` is mandatory — a bare pragma is itself reported and fails
+the run.  The pragma binds to its innermost enclosing function or class
+(decorators included); a module-level pragma audits the whole file.
+
+Reports follow the ``repro-lint`` conventions: sorted deterministic
+JSON, exit code 0 (clean) / 1 (unaudited conflicts or pragma errors) /
+2 (usage error), paths shortened relative to the repo layout.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = [
+    "AuditSpan",
+    "Conflict",
+    "Endpoint",
+    "PragmaError",
+    "RaceReport",
+    "shorten_path",
+]
+
+_PRAGMA = re.compile(r"#\s*repro-race:\s*ordered(?:\s*--\s*(?P<why>\S.*?))?\s*$")
+
+#: Path components that anchor a repo-relative rendering.
+_ANCHORS = ("repro", "tests", "examples")
+
+
+def shorten_path(path: str) -> str:
+    """Render an absolute source path repo-relatively (``repro/...``,
+    ``tests/...``) so reports are byte-identical across machines."""
+    parts = Path(path).parts
+    for anchor in _ANCHORS:
+        if anchor in parts:
+            return "/".join(parts[parts.index(anchor):])
+    return Path(path).name
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One side of a conflict: who accessed the cell, how, and where."""
+
+    kind: str  # "read" | "write"
+    event: str  # occurrence label, e.g. "Process(_sender)"
+    process: str  # resumed process name, "" when none was active
+    #: Innermost-first frames ``(file, line, function)``.
+    stack: tuple[tuple[str, int, str], ...]
+
+    def rendered_stack(self) -> list[str]:
+        return [
+            f"{shorten_path(f)}:{line} in {func}" for f, line, func in self.stack
+        ]
+
+
+@dataclass
+class Conflict:
+    """Two same-epoch accesses with no happens-before order and at
+    least one write."""
+
+    obj: str  # shared-object label, e.g. "SwapManager#0@n0"
+    field: str  # logical cell, e.g. "lines[17]"
+    time: float
+    priority: int
+    a: Endpoint
+    b: Endpoint
+    #: How many same-shaped pairs collapsed into this finding.
+    count: int = 1
+    #: Runs (scenario/config names) this conflict appeared in.
+    runs: list[str] = field(default_factory=list)
+    #: ``"file:line: justification"`` when an audit pragma covers it.
+    audited: Optional[str] = None
+
+    def sort_key(self) -> tuple:
+        return (
+            self.obj,
+            self.field,
+            self.a.rendered_stack(),
+            self.b.rendered_stack(),
+            self.a.kind,
+            self.b.kind,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "obj": self.obj,
+            "field": self.field,
+            "time": self.time,
+            "priority": self.priority,
+            "count": self.count,
+            "runs": sorted(set(self.runs)),
+            "audited": self.audited,
+            "a": {
+                "kind": self.a.kind,
+                "event": self.a.event,
+                "process": self.a.process,
+                "stack": self.a.rendered_stack(),
+            },
+            "b": {
+                "kind": self.b.kind,
+                "event": self.b.event,
+                "process": self.b.process,
+                "stack": self.b.rendered_stack(),
+            },
+        }
+
+    def render(self) -> str:
+        head = (
+            f"{self.obj}.{self.field} @ t={self.time:.9g}/p{self.priority}: "
+            f"{self.a.kind} vs {self.b.kind} ({self.count}x)"
+        )
+        lines = [head]
+        for side, ep in (("a", self.a), ("b", self.b)):
+            who = f" [{ep.process}]" if ep.process else ""
+            lines.append(f"  {side}: {ep.kind} by {ep.event}{who}")
+            for frame in ep.rendered_stack():
+                lines.append(f"     at {frame}")
+        if self.audited:
+            lines.append(f"  audited: {self.audited}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AuditSpan:
+    """Line range of a function/class/module carrying an audit pragma."""
+
+    path: str
+    start: int
+    end: int
+    pragma_line: int
+    scope: str
+    justification: str
+
+
+@dataclass(frozen=True)
+class PragmaError:
+    """A ``# repro-race`` pragma without the mandatory justification."""
+
+    path: str
+    line: int
+
+    def render(self) -> str:
+        return (
+            f"{shorten_path(self.path)}:{self.line}: repro-race pragma "
+            "without a justification (use '# repro-race: ordered -- <why>')"
+        )
+
+
+def _scope_spans(tree: ast.AST) -> list[tuple[int, int, str]]:
+    """(start, end, name) for every function/class, decorators included,
+    innermost scopes later in the list."""
+    spans: list[tuple[int, int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            start = min(
+                [node.lineno] + [d.lineno for d in node.decorator_list]
+            )
+            spans.append((start, node.end_lineno or node.lineno, node.name))
+    spans.sort(key=lambda s: (s[0], -s[1]))
+    return spans
+
+
+def load_audits(path: str) -> tuple[list[AuditSpan], list[PragmaError]]:
+    """Scan one source file for ``# repro-race: ordered`` pragmas and
+    resolve each to its enclosing scope's line span."""
+    try:
+        source = Path(path).read_text()
+        tree = ast.parse(source)
+    except (OSError, SyntaxError):
+        return [], []
+    spans = _scope_spans(tree)
+    n_lines = source.count("\n") + 1
+    audits: list[AuditSpan] = []
+    errors: list[PragmaError] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA.search(line)
+        if m is None:
+            continue
+        why = m.group("why")
+        if not why:
+            errors.append(PragmaError(path, lineno))
+            continue
+        scope: tuple[int, int, str] = (1, n_lines, "<module>")
+        for start, end, name in spans:  # innermost covering span wins
+            if start <= lineno <= end:
+                scope = (start, end, name)
+        audits.append(
+            AuditSpan(path, scope[0], scope[1], lineno, scope[2], why)
+        )
+    return audits, errors
+
+
+class _AuditIndex:
+    """Lazily loaded per-file audit spans."""
+
+    def __init__(self) -> None:
+        self._by_file: dict[str, list[AuditSpan]] = {}
+        self.errors: list[PragmaError] = []
+
+    def spans(self, path: str) -> list[AuditSpan]:
+        cached = self._by_file.get(path)
+        if cached is None:
+            cached, errors = load_audits(path)
+            self._by_file[path] = cached
+            self.errors.extend(errors)
+        return cached
+
+    def covering(self, stack: Sequence[tuple[str, int, str]]) -> Optional[AuditSpan]:
+        for path, line, _func in stack:
+            for span in self.spans(path):
+                if span.start <= line <= span.end:
+                    return span
+        return None
+
+
+@dataclass
+class RaceReport:
+    """Merged findings of one or more sanitized runs."""
+
+    conflicts: list[Conflict] = field(default_factory=list)
+    pragma_errors: list[PragmaError] = field(default_factory=list)
+    #: per-run counters: name -> {"events": .., "epochs": .., ...}.
+    runs: dict[str, dict] = field(default_factory=dict)
+
+    def audit(self) -> None:
+        """Resolve pragmas for every conflict (idempotent)."""
+        index = _AuditIndex()
+        for c in self.conflicts:
+            span = index.covering(c.a.stack) or index.covering(c.b.stack)
+            if span is not None:
+                c.audited = (
+                    f"{shorten_path(span.path)}:{span.pragma_line}: "
+                    f"{span.justification}"
+                )
+        self.pragma_errors = sorted(
+            set(self.pragma_errors) | set(index.errors),
+            key=lambda e: (e.path, e.line),
+        )
+        self.conflicts.sort(key=Conflict.sort_key)
+
+    @property
+    def unaudited(self) -> list[Conflict]:
+        return [c for c in self.conflicts if c.audited is None]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.unaudited or self.pragma_errors) else 0
+
+    def to_json(self) -> dict:
+        return {
+            "tool": "repro-race",
+            "runs": {name: dict(stats) for name, stats in sorted(self.runs.items())},
+            "n_conflicts": len(self.conflicts),
+            "n_unaudited": len(self.unaudited),
+            "conflicts": [c.to_json() for c in self.conflicts],
+            "pragma_errors": [
+                {"path": shorten_path(e.path), "line": e.line}
+                for e in self.pragma_errors
+            ],
+            "exit_code": self.exit_code,
+        }
+
+    def render(self) -> str:
+        lines = []
+        for name, stats in sorted(self.runs.items()):
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+            lines.append(f"run {name}: {pairs}")
+        audited = [c for c in self.conflicts if c.audited is not None]
+        for c in self.conflicts:
+            lines.append("")
+            lines.append(c.render())
+        for e in self.pragma_errors:
+            lines.append(e.render())
+        lines.append("")
+        lines.append(
+            f"repro-race: {len(self.conflicts)} conflict(s), "
+            f"{len(audited)} audited, {len(self.unaudited)} unaudited, "
+            f"{len(self.pragma_errors)} pragma error(s)"
+        )
+        return "\n".join(lines)
+
+    def dump(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")

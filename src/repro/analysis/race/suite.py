@@ -1,0 +1,219 @@
+"""The sanitizer's standard workload: goldens + dynamic scenarios.
+
+``repro-race`` checks determinism over the same 12 configurations the
+golden-equivalence pin runs (both drivers, all pagers, shortage
+injection, the disk-fallback chain) plus the two catalogue scenarios
+that exercise cluster dynamics — ``churning`` (sawtooth background
+load, predictive placement) and ``node-failure`` (mid-pass failure +
+recovery).  Those dynamic runs are where same-epoch scheduling is
+busiest: monitor broadcasts, churn trace steps, migrate-ahead firings,
+and update flushes all landing on the same instants.
+
+:data:`GOLDEN` mirrors ``tests/integration/golden_runtime_equivalence
+.json`` *by value* (a test cross-checks them) so the installed package
+does not depend on the test tree's files.
+
+Each run gets a fresh :class:`~repro.analysis.race.tracker.RaceTracker`
+installed around runtime *construction* (shared objects snapshot the
+tracker in ``__init__``); conflicts from all runs are merged by shape
+into one :class:`~repro.analysis.race.report.RaceReport`, so a conflict
+seen in five runs reports once with five run names attached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.analysis.race import access
+from repro.analysis.race.report import RaceReport
+from repro.analysis.race.tracker import RaceTracker
+
+__all__ = ["GOLDEN", "SCENARIO_RUNS", "suite_names", "run_suite"]
+
+#: Workload + base config of the golden-equivalence suite (mirrors
+#: ``tests/integration/golden_runtime_equivalence.json``).
+GOLDEN: dict = {
+    "db": {"workload": "T8.I3.D600", "n_items": 100, "seed": 7},
+    "base": {"minsup": 0.02, "n_app_nodes": 4, "total_lines": 256, "seed": 1},
+    "specs": {
+        "hpa-none": {"driver": "hpa", "overrides": {}},
+        "hpa-disk": {
+            "driver": "hpa",
+            "overrides": {"pager": "disk", "memory_limit_bytes": 10796},
+        },
+        "hpa-remote": {
+            "driver": "hpa",
+            "overrides": {
+                "pager": "remote",
+                "n_memory_nodes": 3,
+                "memory_limit_bytes": 10796,
+            },
+        },
+        "hpa-remote-update": {
+            "driver": "hpa",
+            "overrides": {
+                "pager": "remote-update",
+                "n_memory_nodes": 3,
+                "memory_limit_bytes": 10796,
+            },
+        },
+        "hpa-remote-shortage": {
+            "driver": "hpa",
+            "overrides": {
+                "pager": "remote",
+                "n_memory_nodes": 3,
+                "memory_limit_bytes": 10796,
+            },
+            "shortages": [[0.05, 0], [0.09, 1]],
+        },
+        "hpa-remote-update-shortage": {
+            "driver": "hpa",
+            "overrides": {
+                "pager": "remote-update",
+                "n_memory_nodes": 3,
+                "memory_limit_bytes": 10796,
+            },
+            "shortages": [[0.05, 0]],
+        },
+        "hpa-disk-fallback": {
+            "driver": "hpa",
+            "overrides": {
+                "pager": "remote",
+                "n_memory_nodes": 1,
+                "memory_limit_bytes": 10796,
+                "disk_fallback": True,
+            },
+            "shortages": [[0.05, 0]],
+        },
+        "npa-none": {"driver": "npa", "overrides": {}},
+        "npa-disk": {
+            "driver": "npa",
+            "overrides": {
+                "pager": "disk",
+                "memory_limit_bytes": 55123,
+                "max_k": 2,
+            },
+        },
+        "npa-remote": {
+            "driver": "npa",
+            "overrides": {
+                "pager": "remote",
+                "n_memory_nodes": 3,
+                "memory_limit_bytes": 55123,
+                "max_k": 2,
+            },
+        },
+        "npa-remote-update": {
+            "driver": "npa",
+            "overrides": {
+                "pager": "remote-update",
+                "n_memory_nodes": 3,
+                "memory_limit_bytes": 55123,
+                "max_k": 2,
+            },
+        },
+        "npa-remote-shortage": {
+            "driver": "npa",
+            "overrides": {
+                "pager": "remote",
+                "n_memory_nodes": 3,
+                "memory_limit_bytes": 55123,
+                "max_k": 2,
+            },
+            "shortages": [[0.05, 0]],
+        },
+    },
+}
+
+#: Catalogue scenarios appended after the goldens (cluster dynamics).
+SCENARIO_RUNS = ("churning", "node-failure")
+
+
+def suite_names() -> "list[str]":
+    """Every run name, goldens first, in execution order."""
+    return sorted(GOLDEN["specs"]) + list(SCENARIO_RUNS)
+
+
+def _golden_thunk(spec: dict) -> Callable[[], None]:
+    def execute() -> None:
+        from repro.datagen import generate
+        from repro.mining.hpa import HPAConfig, HPARun
+        from repro.mining.npa import NPAConfig, NPARun
+
+        db_spec = GOLDEN["db"]
+        db = generate(
+            db_spec["workload"], n_items=db_spec["n_items"], seed=db_spec["seed"]
+        )
+        kwargs = dict(GOLDEN["base"])
+        kwargs.update(spec["overrides"])
+        if spec["driver"] == "hpa":
+            run = HPARun(db, HPAConfig(**kwargs))
+        else:
+            run = NPARun(db, NPAConfig(**kwargs))
+        for t, idx in spec.get("shortages", []):
+            run.shortage_schedule.append((t, run.mem_ids[idx]))
+        run.run()
+
+    return execute
+
+
+def _scenario_thunk(name: str) -> Callable[[], None]:
+    def execute() -> None:
+        from repro.runtime.scenarios import get_scenario
+
+        # Uncached on purpose: a cached result carries no schedule.
+        get_scenario(name).execute()
+
+    return execute
+
+
+def _thunks(names: "list[str]") -> "list[tuple[str, Callable[[], None]]]":
+    out: "list[tuple[str, Callable[[], None]]]" = []
+    for name in names:
+        if name in GOLDEN["specs"]:
+            out.append((name, _golden_thunk(GOLDEN["specs"][name])))
+        elif name in SCENARIO_RUNS:
+            out.append((name, _scenario_thunk(name)))
+        else:
+            raise KeyError(
+                f"unknown race-suite run {name!r}; have {suite_names()}"
+            )
+    return out
+
+
+def run_suite(
+    names: "Optional[list[str]]" = None,
+    progress: "Optional[Callable[[str, dict], None]]" = None,
+) -> RaceReport:
+    """Sanitize every named run (default: the whole suite).
+
+    Each run executes under its own freshly-installed tracker —
+    construction and simulation both inside the session, since shared
+    objects snapshot the tracker when built.  Returns the merged,
+    audited report.  ``progress(name, stats)`` is called after each run.
+    """
+    merged: dict = {}
+    runs: dict = {}
+    for name, execute in _thunks(names if names is not None else suite_names()):
+        tracker = RaceTracker()
+        tracker.run_name = name
+        with access.session(tracker):
+            execute()
+        tracker.finish()  # flush the final epoch
+        runs[name] = tracker.stats()
+        if progress is not None:
+            progress(name, runs[name])
+        for key, conflict in tracker._conflicts.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = conflict
+            else:
+                existing.count += conflict.count
+                for run_name in conflict.runs:
+                    if run_name not in existing.runs:
+                        existing.runs.append(run_name)
+    report = RaceReport()
+    report.conflicts = list(merged.values())
+    report.runs = runs
+    report.audit()
+    return report

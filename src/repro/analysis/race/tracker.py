@@ -1,0 +1,303 @@
+"""Happens-before tracking and same-epoch conflict detection.
+
+The kernel processes events in a deterministic total order, but within
+one *scheduling epoch* — all events due at the same ``(sim_time,
+priority)`` — that order is an artifact of queue insertion, not of the
+model.  Two accesses to the same shared cell made inside one epoch are
+therefore racy **unless** one event is a scheduling descendant of the
+other (it was scheduled, directly or transitively, while the other was
+executing) or both accesses were made by the same resumed process
+(program order).
+
+The tracker learns the descendant relation from the traced dispatch
+loop (:meth:`repro.sim.engine.Environment.run`): before an event's
+callbacks run the loop calls :meth:`begin`, afterwards it reports every
+event those callbacks scheduled via :meth:`adopt`.  That yields a
+parent-pointer forest over occurrence sequence numbers; the
+happens-before query is a parent-chain walk, cheap because chains are
+short and the walk stops as soon as it passes the candidate ancestor.
+
+Access hooks (:mod:`repro.analysis.race.access`) call :meth:`read` /
+:meth:`write`; at each epoch boundary :meth:`_flush` reports every
+write/write or read/write pair between unordered occurrences, with both
+stack contexts, deduplicated by shape (object type, cell name, stacks).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.analysis.race.report import Conflict, Endpoint, RaceReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.events import EventBus
+    from repro.sim.engine import Environment
+
+__all__ = ["RaceTracker"]
+
+#: Frames captured per access (innermost first): the hooked method, its
+#: caller, and two more for context.
+_STACK_DEPTH = 4
+
+
+class _Occurrence:
+    """Per-epoch record of one event execution that touched shared state."""
+
+    __slots__ = ("seq", "label", "accesses")
+
+    def __init__(self, seq: int, label: str) -> None:
+        self.seq = seq
+        self.label = label
+        #: (kind, obj_label, field, proc_id, proc_name, stack)
+        self.accesses: list[tuple] = []
+
+
+class RaceTracker:
+    """Records per-epoch read/write sets and reports schedule races.
+
+    Install via :func:`repro.analysis.race.access.session` *before*
+    building the runtime under test, run the simulation, then call
+    :meth:`finish` and read :attr:`conflicts`.
+    """
+
+    def __init__(self) -> None:
+        # -- happens-before forest (grows for the whole run) ----------
+        self._parents: list[int] = []  # seq -> parent seq, -1 for roots
+        self._pending_parent: dict[int, int] = {}  # id(event) -> scheduler seq
+        # -- current epoch --------------------------------------------
+        self._epoch: Optional[tuple[float, int]] = None
+        self._epoch_occs: list[_Occurrence] = []
+        self._cur: Optional[_Occurrence] = None
+        self._cur_seq = -1
+        self._cur_label = ""
+        # -- shared-object naming -------------------------------------
+        self._labels: dict[int, str] = {}
+        self._label_counts: dict[str, int] = {}
+        self._keepalive: list[object] = []  # pin ids against reuse
+        # -- results ---------------------------------------------------
+        self._conflicts: dict[tuple, Conflict] = {}
+        self.events = 0
+        self.epochs = 0
+        self.accesses = 0
+        self._env: Optional["Environment"] = None
+        #: Optional telemetry bus; conflicts emit a ``race-conflict``
+        #: event when attached.
+        self.bus: Optional["EventBus"] = None
+        #: Name recorded on conflicts found from now on (set per run
+        #: when one tracker sanitizes several scenarios).
+        self.run_name = "run"
+
+    # -- engine protocol (called by the traced dispatch loop) ----------
+
+    def attach(self, env: "Environment") -> None:
+        """Associate the environment (for active-process attribution)."""
+        self._env = env
+
+    def begin(self, time: float, priority: int, event: object) -> None:
+        """An event at epoch ``(time, priority)`` is about to execute."""
+        key = (time, priority)
+        if key != self._epoch:
+            self._flush()
+            self._epoch = key
+            self.epochs += 1
+        seq = len(self._parents)
+        self._parents.append(self._pending_parent.pop(id(event), -1))
+        self._cur_seq = seq
+        self._cur = None
+        name = getattr(event, "name", None)
+        self._cur_label = (
+            f"{type(event).__name__}({name})" if name else type(event).__name__
+        )
+        self.events += 1
+
+    def adopt(self, event: object) -> None:
+        """``event`` was scheduled while the current occurrence ran."""
+        if self._cur_seq >= 0:
+            self._pending_parent[id(event)] = self._cur_seq
+
+    def end(self) -> None:
+        """The current occurrence's callbacks finished."""
+        self._cur = None
+        self._cur_seq = -1
+
+    def finish(self) -> RaceReport:
+        """Flush the final epoch and build a single-run report."""
+        self._flush()
+        report = RaceReport()
+        report.conflicts = list(self._conflicts.values())
+        report.runs[self.run_name] = self.stats()
+        report.audit()
+        return report
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def conflicts(self) -> list[Conflict]:
+        return list(self._conflicts.values())
+
+    def stats(self) -> dict:
+        return {
+            "events": self.events,
+            "epochs": self.epochs,
+            "accesses": self.accesses,
+            "conflicts": len(self._conflicts),
+        }
+
+    # -- access hooks (called by instrumented shared objects) ----------
+
+    def read(self, obj: object, field: object) -> None:
+        self._record("read", obj, field)
+
+    def write(self, obj: object, field: object) -> None:
+        self._record("write", obj, field)
+
+    def _record(self, kind: str, obj: object, field: object) -> None:
+        if self._cur_seq < 0:
+            return  # outside the dispatch loop (setup/teardown code)
+        occ = self._cur
+        if occ is None:
+            occ = self._cur = _Occurrence(self._cur_seq, self._cur_label)
+            self._epoch_occs.append(occ)
+        env = self._env
+        proc = env._active_proc if env is not None else None
+        if proc is not None:
+            proc_id: int = id(proc)
+            proc_name: str = getattr(proc, "name", "")
+        else:
+            proc_id, proc_name = 0, ""
+        frame: Any = sys._getframe(2)  # 0=_record, 1=read/write, 2=the hook site
+        stack = []
+        for _ in range(_STACK_DEPTH):
+            if frame is None:
+                break
+            stack.append(
+                (frame.f_code.co_filename, frame.f_lineno, frame.f_code.co_name)
+            )
+            frame = frame.f_back
+        occ.accesses.append(
+            (kind, self._label(obj), field, proc_id, proc_name, tuple(stack))
+        )
+        self.accesses += 1
+
+    def _label(self, obj: object) -> str:
+        key = id(obj)
+        label = self._labels.get(key)
+        if label is None:
+            tname = type(obj).__name__
+            n = self._label_counts.get(tname, 0)
+            self._label_counts[tname] = n + 1
+            node_id = getattr(obj, "node_id", None)
+            if node_id is None:
+                node_id = getattr(getattr(obj, "node", None), "node_id", None)
+            label = f"{tname}#{n}"
+            if isinstance(node_id, int):
+                label += f"@n{node_id}"
+            self._labels[key] = label
+            self._keepalive.append(obj)  # keep id(obj) unique for the run
+        return label
+
+    # -- conflict detection --------------------------------------------
+
+    def _ordered(self, a_seq: int, b_seq: int) -> bool:
+        """True when occurrence ``a_seq`` is a scheduling ancestor of
+        ``b_seq`` (``a_seq < b_seq``)."""
+        parents = self._parents
+        s = parents[b_seq]
+        while s > a_seq:
+            s = parents[s]
+        return s == a_seq
+
+    def _flush(self) -> None:
+        occs = self._epoch_occs
+        if not occs:
+            return
+        self._epoch_occs = []
+        if len(occs) < 2 or self._epoch is None:
+            return
+        time, priority = self._epoch
+        # Group accesses by cell across the epoch's occurrences.
+        by_cell: dict[tuple, list[tuple[_Occurrence, tuple]]] = {}
+        for occ in occs:
+            for acc in occ.accesses:
+                by_cell.setdefault((acc[1], acc[2]), []).append((occ, acc))
+        for (obj_label, cell), entries in by_cell.items():
+            if all(acc[0] == "read" for _, acc in entries):
+                continue
+            # Per-occurrence representative accesses (a write wins).
+            per_occ: dict[int, tuple[_Occurrence, list[tuple]]] = {}
+            for occ, acc in entries:
+                per_occ.setdefault(occ.seq, (occ, []))[1].append(acc)
+            seqs = sorted(per_occ)
+            if len(seqs) < 2:
+                continue
+            for i, a_seq in enumerate(seqs):
+                for b_seq in seqs[i + 1:]:
+                    self._check_pair(
+                        time, priority, obj_label, cell,
+                        per_occ[a_seq], per_occ[b_seq],
+                    )
+
+    def _check_pair(
+        self,
+        time: float,
+        priority: int,
+        obj_label: str,
+        cell: object,
+        a_entry: tuple[_Occurrence, list[tuple]],
+        b_entry: tuple[_Occurrence, list[tuple]],
+    ) -> None:
+        a_occ, a_accs = a_entry
+        b_occ, b_accs = b_entry
+        if self._ordered(a_occ.seq, b_occ.seq):
+            return
+        for a in a_accs:
+            for b in b_accs:
+                if a[0] == "read" and b[0] == "read":
+                    continue
+                if a[3] and a[3] == b[3]:
+                    continue  # same resumed process: program order
+                self._record_conflict(
+                    time, priority, obj_label, cell, a_occ, a, b_occ, b
+                )
+                return
+
+    def _record_conflict(
+        self,
+        time: float,
+        priority: int,
+        obj_label: str,
+        cell: object,
+        a_occ: _Occurrence,
+        a: tuple,
+        b_occ: _Occurrence,
+        b: tuple,
+    ) -> None:
+        type_name = obj_label.split("#", 1)[0]
+        cell_name = cell[0] if isinstance(cell, tuple) else cell
+        key = (type_name, cell_name, a[0], b[0], a[5][:2], b[5][:2])
+        existing = self._conflicts.get(key)
+        if existing is not None:
+            existing.count += 1
+            if self.run_name not in existing.runs:
+                existing.runs.append(self.run_name)
+            return
+        if isinstance(cell, tuple):
+            field = f"{cell[0]}[{cell[1]}]"
+        else:
+            field = str(cell)
+        conflict = Conflict(
+            obj=obj_label,
+            field=field,
+            time=time,
+            priority=priority,
+            a=Endpoint(kind=a[0], event=a_occ.label, process=a[4], stack=a[5]),
+            b=Endpoint(kind=b[0], event=b_occ.label, process=b[4], stack=b[5]),
+            runs=[self.run_name],
+        )
+        self._conflicts[key] = conflict
+        if self.bus is not None:
+            self.bus.emit(
+                "race-conflict", -1, f"{obj_label}.{field}",
+                obj=obj_label, field=field, a=a[0], b=b[0],
+            )

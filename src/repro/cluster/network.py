@@ -51,8 +51,11 @@ class Message:
     deliver_time: float = -1.0
 
 
+# Pure counter accumulation: every field is a sum of per-message
+# increments, which commute within an epoch; no control flow reads them
+# back during the run.
 @dataclass
-class NetworkStats:
+class NetworkStats:  # repro-lint: disable=RPL602
     """Aggregate network counters."""
 
     messages: int = 0

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.analysis.race import access as _race
 from repro.errors import NetworkError
 from repro.cluster.network import Message, Network
 from repro.sim.process import Process
@@ -38,23 +39,45 @@ class Mailbox(Store):
     ``NetworkStats`` can't show.
     """
 
+    #: Same-epoch deposits from different senders land in queue order
+    #: (see repro.analysis.race).
+    __race_shared__ = True
+
     def __init__(
-        self, env: "Environment", capacity: float = float("inf")
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        node_id: int = -1,
+        channel: str = "",
     ) -> None:
         super().__init__(env, capacity)
+        self.node_id = node_id
+        self.channel = channel
         self.delivered = 0
         self.peak_depth = 0
         self.blocked_puts = 0
         self._t0 = env.now
         self._last_t = env.now
         self._depth_area = 0.0
+        self._race = _race.TRACKER
 
-    def _advance(self) -> None:
+    # Occupancy accounting only: callers (_store_item/_select_item)
+    # record the (queue, channel) cell, and same-instant _advance calls
+    # fold a zero-width (now - last_t == 0) area term, so the sum is
+    # identical in any order.
+    def _advance(self) -> None:  # repro-lint: disable=RPL601
         now = self.env.now
         self._depth_area += len(self.items) * (now - self._last_t)
         self._last_t = now
 
     def _store_item(self, item: object) -> None:
+        # repro-race: ordered -- a same-instant put/get pair commutes:
+        # put appends at the tail, get takes the head (or settles
+        # against this put if the queue was empty), so the handoff and
+        # the resulting queue are identical in either order and
+        # per-sender FIFO is preserved.
+        if self._race is not None:
+            self._race.write(self, ("queue", self.channel))
         self._advance()
         super()._store_item(item)
         self.delivered += 1
@@ -62,10 +85,14 @@ class Mailbox(Store):
             self.peak_depth = len(self.items)
 
     def _select_item(self, event: StoreGet) -> object:
+        if self._race is not None:
+            self._race.write(self, ("queue", self.channel))
         self._advance()
         return super()._select_item(event)
 
-    def _do_put(self, event: StorePut) -> bool:
+    # The queue mutation itself happens in _store_item (recorded there);
+    # this override only bumps the commutative blocked-put counter.
+    def _do_put(self, event: StorePut) -> bool:  # repro-lint: disable=RPL601
         done = super()._do_put(event)
         # Count each put at most once, however many settlement rounds it
         # spends waiting for room.
@@ -90,7 +117,11 @@ class Mailbox(Store):
         }
 
 
-class Transport:
+# Transport's only mutation is the lazy mailbox create in mailbox():
+# guarded by a key-present check, so concurrent same-instant callers for
+# a new key leave the identical state (one fresh empty Mailbox) in
+# either order; the mailboxes themselves are hooked.
+class Transport:  # repro-lint: disable=RPL602
     """Channel-addressed messaging on top of :class:`Network`."""
 
     def __init__(
@@ -115,7 +146,7 @@ class Transport:
                 float("inf") if self.mailbox_capacity is None
                 else self.mailbox_capacity
             )
-            self._mailboxes[key] = Mailbox(self.env, capacity)
+            self._mailboxes[key] = Mailbox(self.env, capacity, node_id, channel)
         return self._mailboxes[key]
 
     def send(

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.analysis.cost_model import CostModel
+from repro.analysis.race import access as _race
 from repro.core.memory_table import LineState, MemoryManagementTable
 from repro.core.monitor import MonitorClient
 from repro.core.pager import Pager
@@ -67,6 +68,10 @@ class RemoteMemoryPager(Pager):
     name = "remote"
     #: Subclass toggles: fixed lines never fault back.
     fixed = False
+    #: Migration bookkeeping and update buffers are touched by the
+    #: shortage handler, faulting processes, and drain concurrently
+    #: (see repro.analysis.race).
+    __race_shared__ = True
 
     def __init__(
         self,
@@ -92,6 +97,7 @@ class RemoteMemoryPager(Pager):
         #: room.  Lines that fell back live on disk and fault from disk.
         self.fallback = fallback
         self._migration_events: "dict[int, Event]" = {}  # line_id -> done event
+        self._race = _race.TRACKER
 
     # -- plumbing ---------------------------------------------------------
 
@@ -164,6 +170,8 @@ class RemoteMemoryPager(Pager):
 
     def _await_migration(self, line_id: int) -> Generator:
         """Block until a mid-migration line settles somewhere."""
+        if self._race is not None:
+            self._race.read(self, ("migration", line_id))
         ev = self._migration_events.get(line_id)
         if ev is not None:
             yield ev
@@ -240,6 +248,8 @@ class RemoteMemoryPager(Pager):
             return
         env = self.node.env
         for lid in line_ids:
+            if self._race is not None:
+                self._race.write(self, ("migration", lid))
             self.table.set_migrating(lid)
             self._migration_events[lid] = env.event()
 
@@ -257,6 +267,8 @@ class RemoteMemoryPager(Pager):
             if not src_store.holds(self.owner_id, lid):
                 # A concurrent pagefault already pulled this line home; it
                 # will be marked resident by the faulting process.
+                if self._race is not None:
+                    self._race.write(self, ("migration", lid))
                 self._migration_events.pop(lid).succeed()
                 continue
             line = src_store.take(self.owner_id, lid)
@@ -293,6 +305,8 @@ class RemoteMemoryPager(Pager):
                 break
             self.table.set_remote(lid, dst, fixed=self.fixed)
             self.client.adjust_estimate(dst, -line.nbytes)
+            if self._race is not None:
+                self._race.write(self, ("migration", lid))
             self._migration_events.pop(lid).succeed()
             moved += 1
 
@@ -315,7 +329,9 @@ class RemoteMemoryPager(Pager):
         return
         yield  # pragma: no cover - generator marker
 
-    def reset_pass(self) -> None:
+    # Pass-boundary reset: called from the driver's serial inter-pass
+    # section after every counting process has joined the barrier.
+    def reset_pass(self) -> None:  # repro-lint: disable=RPL601
         self._migration_events.clear()
         if self.fallback is not None:
             self.fallback.reset_pass()
@@ -342,6 +358,8 @@ class RemoteUpdatePager(RemoteMemoryPager):
         flush is due (the caller drives it), else ``None``."""
         code = self.table.state_code(line_id)
         if code == MemoryManagementTable.MIGRATING:
+            if self._race is not None:
+                self._race.write(self, "held")
             self._held.append((line_id, itemset, delta))
             self.stats.updates_sent += 1
             return None
@@ -350,6 +368,8 @@ class RemoteUpdatePager(RemoteMemoryPager):
                 f"update for line {line_id} in state {self.table.state(line_id).value}"
             )
         holder = self.table.holder_of(line_id)
+        if self._race is not None:
+            self._race.write(self, ("buffer", holder))
         buf = self._buffers.setdefault(holder, [])
         buf.append((line_id, itemset, delta))
         self.stats.updates_sent += 1
@@ -358,6 +378,13 @@ class RemoteUpdatePager(RemoteMemoryPager):
         return None
 
     def _flush(self, holder: int) -> Generator:
+        # repro-race: ordered -- same-epoch flushes race to pop this
+        # buffer: whichever runs first takes every accumulated record
+        # and the others see it empty, so the delivered record set, the
+        # message count, and the upsert-applied counts are identical in
+        # either order.
+        if self._race is not None:
+            self._race.write(self, ("buffer", holder))
         records = self._buffers.pop(holder, [])
         if not records:
             return
@@ -390,13 +417,18 @@ class RemoteUpdatePager(RemoteMemoryPager):
             # post-migration re-resolve each line's new holder and
             # re-send, paying the extra message like a retransmission.
             records = [r for r in records if store.holds(self.owner_id, r[0])]
+            if self._race is not None:
+                self._race.write(self, "held")
             self._held.extend(stale)
         if records:
             store.apply_updates(self.owner_id, records)
 
     # -- lifecycle --------------------------------------------------------------
 
-    def drain(self) -> Generator:
+    # The buffer/held mutations drain triggers are recorded (and where
+    # racy, audited) inside _flush/_redispatch_held; its own direct
+    # mutation only clears the already-joined update-process list.
+    def drain(self) -> Generator:  # repro-lint: disable=RPL601
         """Flush every buffer and wait for all posted updates to apply."""
         env = self.node.env
         while self._buffers or self._held or any(
@@ -424,6 +456,8 @@ class RemoteUpdatePager(RemoteMemoryPager):
                 yield env.all_of(procs)
 
     def _redispatch_held(self) -> None:
+        if self._race is not None:
+            self._race.write(self, "held")
         held, self._held = self._held, []
         for line_id, itemset, delta in held:
             self.stats.updates_sent -= 1  # re-queue, do not double count
@@ -431,7 +465,10 @@ class RemoteUpdatePager(RemoteMemoryPager):
             if flush is not None:
                 self.node.env.process(_drive(flush))
 
-    def _pre_migration_sync(self, shortage_node: int) -> Generator:
+    # The flush it performs records the (buffer, holder) cell inside
+    # _flush; its own _inflight pop only joins update processes already
+    # posted for the holder, and the join set is the same either way.
+    def _pre_migration_sync(self, shortage_node: int) -> Generator:  # repro-lint: disable=RPL601
         """Apply everything already addressed to the overloaded holder so
         line contents are complete before they move."""
         yield from self._flush(shortage_node)
@@ -444,7 +481,9 @@ class RemoteUpdatePager(RemoteMemoryPager):
         return
         yield  # pragma: no cover - generator marker
 
-    def reset_pass(self) -> None:
+    # Pass-boundary reset: called from the driver's serial inter-pass
+    # section after every counting process has joined the barrier.
+    def reset_pass(self) -> None:  # repro-lint: disable=RPL601
         super().reset_pass()
         self._buffers.clear()
         self._inflight.clear()

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 import numpy as np
 
 from repro.analysis.cost_model import CostModel
+from repro.analysis.race import access as _race
 from repro.core.memory_table import LineState, MemoryManagementTable
 from repro.core.pager import Pager
 from repro.core.policies import LRUPolicy, ReplacementPolicy
@@ -78,6 +79,11 @@ class SwapManagerStats:
 class SwapManager:
     """Memory-limit enforcement for one application execution node."""
 
+    #: HPA runs a sender and a receiver process per node; both insert,
+    #: count, fault, and evict against the same resident set
+    #: (see repro.analysis.race).
+    __race_shared__ = True
+
     def __init__(
         self,
         node: "Node",
@@ -116,6 +122,7 @@ class SwapManager:
         #: Attached lazily by the counting kernel on the first resident
         #: span (see :meth:`count_span_codes`).
         self.span_index: Optional[SpanIndex] = None
+        self._race = _race.TRACKER
 
     # -- introspection ------------------------------------------------------
 
@@ -156,6 +163,8 @@ class SwapManager:
         return self._insert_slow(itemset, line_id)
 
     def _insert_resident(self, itemset: Itemset, line_id: int) -> None:
+        if self._race is not None:
+            self._race.write(self, ("line", line_id))
         line = self.table.get(line_id)
         if line is None:
             line = self.table.line(line_id)
@@ -183,6 +192,8 @@ class SwapManager:
         self.stats.counts += 1
         state = self.mm_table.state_code(line_id)
         if state == MemoryManagementTable.RESIDENT:
+            if self._race is not None:
+                self._race.write(self, ("line", line_id))
             line = self.table.get(line_id)
             if line is None or not line.increment(itemset):
                 raise MiningError(
@@ -212,6 +223,8 @@ class SwapManager:
             raise SwapError("bulk counting requires a pager-less node")
         if n <= 0:
             raise MiningError(f"bulk count must be positive, got {n}")
+        if self._race is not None:
+            self._race.write(self, ("line", line_id))
         self.stats.counts += n
         line = self.table.get(line_id)
         if line is None or not line.increment(itemset, by=n):
@@ -234,6 +247,9 @@ class SwapManager:
         in exactly the per-occurrence end state, and statistics advance
         by the same totals.
         """
+        if self._race is not None:
+            for line_id in dict.fromkeys(line_ids):
+                self._race.write(self, ("line", line_id))
         get = self.table.get
         for itemset, line_id in zip(itemsets, line_ids):
             line = get(line_id)
@@ -268,6 +284,8 @@ class SwapManager:
         """
         index = self.span_index
         assert index is not None
+        if self._race is not None:
+            self._race.write(self, "span-pending")
         index.pending.append(codes)
         # Same touch ceremony as count_resident_batch: each distinct line
         # once, ordered by last occurrence.
@@ -290,6 +308,8 @@ class SwapManager:
         index = self.span_index
         if index is None or not index.pending:
             return
+        if self._race is not None:
+            self._race.write(self, "span-pending")
         codes = (
             index.pending[0]
             if len(index.pending) == 1
@@ -327,6 +347,8 @@ class SwapManager:
 
     def _count_slow(self, itemset: Itemset, line_id: int) -> Generator:
         yield from self._ensure_resident(line_id)
+        if self._race is not None:
+            self._race.write(self, ("line", line_id))
         line = self.table.get(line_id)
         if line is None or not line.increment(itemset):
             raise MiningError(
@@ -346,10 +368,14 @@ class SwapManager:
         """
         assert self.pager is not None
         while not self.mm_table.is_resident(line_id):
+            if self._race is not None:
+                self._race.read(self, ("fault", line_id))
             pending = self._faulting.get(line_id)
             if pending is not None:
                 yield pending
                 continue
+            if self._race is not None:
+                self._race.write(self, ("fault", line_id))
             done = self.node.env.event()
             self._faulting[line_id] = done
             try:
@@ -358,6 +384,8 @@ class SwapManager:
                 self.policy.insert(line_id)
                 self.resident_bytes += line.nbytes
             finally:
+                if self._race is not None:
+                    self._race.write(self, ("fault", line_id))
                 self._faulting.pop(line_id)
                 done.succeed()
             if self.over_limit:
@@ -382,6 +410,8 @@ class SwapManager:
                 # rather than deadlocking (limit smaller than one line).
                 break
             victim = self.policy.victim(pinned=pinned)
+            if self._race is not None:
+                self._race.write(self, ("line", victim))
             line = self.table.pop(victim)
             self.resident_bytes -= line.nbytes
             # evict() commits the new location before returning; only the
@@ -420,7 +450,10 @@ class SwapManager:
 
     # -- lifecycle ---------------------------------------------------------------------
 
-    def drain(self) -> Generator:
+    # flush_span_counts and pager.drain record their own accesses;
+    # drain's direct mutation only clears the joined eviction-process
+    # list once every handle has completed.
+    def drain(self) -> Generator:  # repro-lint: disable=RPL601
         """Settle outstanding pager work (eviction transfers, update
         flushes) before reading counts."""
         self.flush_span_counts()
@@ -431,7 +464,9 @@ class SwapManager:
         if self.pager is not None:
             yield from self.pager.drain()
 
-    def reset_pass(self) -> None:
+    # Pass-boundary reset: called from the driver's serial inter-pass
+    # section after every counting process has joined the barrier.
+    def reset_pass(self) -> None:  # repro-lint: disable=RPL601
         """Clear all per-pass state: hash table, policy, locations."""
         self.table.clear()
         self.mm_table.clear()

@@ -72,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
         "and naive runs disagree",
     )
     parser.add_argument(
+        "--race",
+        action="store_true",
+        help="run the schedule-race sanitizer over the golden suite and "
+        "the dynamic scenarios (same as the repro-race tool); exits "
+        "non-zero on unaudited same-epoch conflicts",
+    )
+    parser.add_argument(
         "--simkernel-json",
         metavar="DIR",
         default=None,
@@ -380,6 +387,13 @@ def main(argv: "list[str] | None" = None) -> int:
             return 1
         if args.experiment is None:
             return 0
+    if args.race:
+        from repro.analysis.race.cli import main as race_main
+
+        race_args = ["--quiet"]
+        if args.json is not None:
+            race_args += ["--output", f"{args.json}/repro-race.json"]
+        return race_main(race_args)
     if args.hotpath_json is not None:
         from repro.harness.hotpath import (
             render_hotpath,

@@ -269,7 +269,11 @@ class HPARun(MiningDriver):
     # -- per-node phase processes ----------------------------------------------
 
     def _candgen_node(
-        self, a: int, n_total_candidates: int, owned, n_duplicated: int = 0
+        self,
+        a: int,
+        n_total_candidates: int,
+        owned: "list[tuple[Itemset, int]]",
+        n_duplicated: int = 0,
     ) -> Generator:
         """Generate all candidates (CPU), insert the owned ones.
 
@@ -287,7 +291,12 @@ class HPARun(MiningDriver):
         yield from self._insert_candidates(a, owned)
 
     def _sender_node(
-        self, a: int, k: int, l_prev_keys: set, l1_mask, dup_counts=None,
+        self,
+        a: int,
+        k: int,
+        l_prev_keys: set,
+        l1_mask: "Optional[np.ndarray]",
+        dup_counts: "Optional[dict[Itemset, int]]" = None,
         kernel: Optional[CountingKernel] = None,
     ) -> Generator:
         """Scan transactions, route k-subsets, count local ones inline.
@@ -313,7 +322,7 @@ class HPARun(MiningDriver):
             )
         return (yield from self._sender_subsets(a, kernel, dup_counts))
 
-    def _sender_blocks(self, a: int):
+    def _sender_blocks(self, a: int) -> "list[tuple[int, int]]":
         """(start, end) transaction ranges of one 64 KB disk block each
         (shared geometry of every sender variant)."""
         part = self.partitions[a]
@@ -324,7 +333,12 @@ class HPARun(MiningDriver):
         return [(i, min(n, i + txns_per_block)) for i in range(0, n, txns_per_block)]
 
     def _sender_naive(
-        self, a: int, k: int, l_prev_keys: set, l1_mask, dup_counts
+        self,
+        a: int,
+        k: int,
+        l_prev_keys: set,
+        l1_mask: "Optional[np.ndarray]",
+        dup_counts: "dict[Itemset, int]",
     ) -> Generator:
         """The reference per-occurrence sender (``kernel="naive"``)."""
         n_messages = 0
@@ -398,6 +412,13 @@ class HPARun(MiningDriver):
                         a, b, "count", buf, ITEMSET_BYTES * len(buf)
                     )
                 )
+        # Every payload must be delivered before any EOF departs: the
+        # receiver closes its pass on the EOF count, and concurrent
+        # in-window transfers give the (small, fast) EOF no causal order
+        # against the last payload.  The real network's per-connection
+        # FIFO makes this ordering a guarantee, so the model enforces it
+        # rather than inheriting it from event-queue insertion order.
+        yield from window.drain()
         for b in buffers:
             yield from window.post(
                 self.cluster.transport.send(a, b, "count", _EOF, 16)
@@ -406,7 +427,11 @@ class HPARun(MiningDriver):
         return n_messages
 
     def _sender_pairs_bulk(
-        self, a: int, kernel: CountingKernel, l1_mask, dup_counts
+        self,
+        a: int,
+        kernel: CountingKernel,
+        l1_mask: "Optional[np.ndarray]",
+        dup_counts: "dict[Itemset, int]",
     ) -> Generator:
         """k == 2 sender, no pager: fully vectorized block processing.
 
@@ -472,6 +497,9 @@ class HPARun(MiningDriver):
                     a, b, "count", payload, ITEMSET_BYTES * len(payload)
                 )
             )
+        # Deliver every payload before any EOF departs (per-connection
+        # FIFO; see _sender_naive).
+        yield from window.drain()
         for b in dests:
             yield from window.post(
                 self.cluster.transport.send(a, b, "count", _EOF, 16)
@@ -482,7 +510,11 @@ class HPARun(MiningDriver):
         return n_messages
 
     def _sender_pairs_ordered(
-        self, a: int, kernel: CountingKernel, l1_mask, dup_counts
+        self,
+        a: int,
+        kernel: CountingKernel,
+        l1_mask: "Optional[np.ndarray]",
+        dup_counts: "dict[Itemset, int]",
     ) -> Generator:
         """k == 2 sender with a pager: merge-walk over simulation events.
 
@@ -640,6 +672,9 @@ class HPARun(MiningDriver):
                         a, b, "count", payload, ITEMSET_BYTES * len(payload)
                     )
                 )
+        # Deliver every payload before any EOF departs (per-connection
+        # FIFO; see _sender_naive).
+        yield from window.drain()
         for b in dests:
             yield from window.post(
                 self.cluster.transport.send(a, b, "count", _EOF, 16)
@@ -648,7 +683,7 @@ class HPARun(MiningDriver):
         return n_messages
 
     def _sender_subsets(
-        self, a: int, kernel: CountingKernel, dup_counts
+        self, a: int, kernel: CountingKernel, dup_counts: "dict[Itemset, int]"
     ) -> Generator:
         """k >= 3 (or oversized-universe k == 2) sender: prefix-index
         subset walk plus precomputed routing, per-occurrence loop."""
@@ -706,6 +741,9 @@ class HPARun(MiningDriver):
                         a, b, "count", buf, ITEMSET_BYTES * len(buf)
                     )
                 )
+        # Deliver every payload before any EOF departs (per-connection
+        # FIFO; see _sender_naive).
+        yield from window.drain()
         for b in buffers:
             yield from window.post(
                 self.cluster.transport.send(a, b, "count", _EOF, 16)

@@ -41,7 +41,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.swap_manager import SpanIndex
+from repro.core.swap_manager import SpanIndex, SwapManager
 from repro.datagen.corpus import TransactionDatabase
 from repro.errors import MiningError
 from repro.mining.itemsets import Itemset
@@ -349,7 +349,9 @@ class CountingKernel:
             self._pair_cache[code] = cached
         return cached
 
-    def count_resident_span(self, mgr, codes: np.ndarray, lines: np.ndarray) -> None:
+    def count_resident_span(
+        self, mgr: SwapManager, codes: np.ndarray, lines: np.ndarray
+    ) -> None:
         """Count one run of occurrences on all-resident lines into ``mgr``.
 
         Valid only when every line in ``lines`` is resident and the
@@ -403,7 +405,9 @@ class CountingKernel:
 
     # -- bulk application -----------------------------------------------------
 
-    def apply_local_pairs(self, mgr, code_arrays: "list[np.ndarray]") -> None:
+    def apply_local_pairs(
+        self, mgr: SwapManager, code_arrays: "list[np.ndarray]"
+    ) -> None:
         """Fold accumulated local pair codes into a swap manager.
 
         Only valid when the node has no pager (every line permanently

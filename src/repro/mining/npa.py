@@ -149,7 +149,9 @@ class NPARun(MiningDriver):
 
     # -- per-node phases ----------------------------------------------------
 
-    def _candgen_node(self, a: int, with_lines) -> Generator:
+    def _candgen_node(
+        self, a: int, with_lines: "list[tuple[Itemset, int]]"
+    ) -> Generator:
         node = self.cluster[a]
         cost = self.config.cost
         if with_lines:
@@ -159,7 +161,11 @@ class NPARun(MiningDriver):
         yield from self._insert_candidates(a, with_lines)
 
     def _count_node(
-        self, a: int, k: int, l_prev_keys: set, l1_mask,
+        self,
+        a: int,
+        k: int,
+        l_prev_keys: set,
+        l1_mask: "Optional[np.ndarray]",
         kernel: Optional[CountingKernel] = None,
     ) -> Generator:
         part = self.partitions[a]

@@ -25,13 +25,28 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from repro.errors import EmptySchedule, StopSimulation
 from repro.sim.events import NORMAL, PENDING, URGENT, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
 __all__ = ["Environment"]
+
+#: Lazily bound :mod:`repro.analysis.race.access` module (imported on
+#: first dispatch rather than at module scope so the kernel carries no
+#: import-time dependency on the analysis layer).
+_race_access: Any = None
+
+
+def _current_tracker() -> Any:
+    """The installed race tracker, or ``None`` when sanitizing is off."""
+    global _race_access
+    if _race_access is None:
+        from repro.analysis.race import access
+
+        _race_access = access
+    return _race_access.TRACKER
 
 
 class Environment:
@@ -56,6 +71,22 @@ class Environment:
         #: Total events processed so far (the sim-kernel bench's workload
         #: denominator; incrementing it never changes the schedule).
         self.events_processed = 0
+        #: Optional tie-shuffling RNG (see :meth:`set_tie_shuffle`).
+        self._tie_rng: Optional[Any] = None
+
+    def set_tie_shuffle(self, rng: Optional[Any]) -> None:
+        """Perturb the order of same-``(time, priority)`` lane events.
+
+        When ``rng`` (anything with ``randrange``) is set, the dispatch
+        loop pops a *random* entry from the due lane instead of the
+        oldest one.  Every such order is a legal schedule — the lane
+        holds exactly the events due now at one priority, and causally
+        produced events still run after their producers — so any result
+        divergence under shuffling is a schedule race.  This is the
+        fuzzing half of the race sanitizer; it is never enabled in
+        production runs.
+        """
+        self._tie_rng = rng
 
     @property
     def now(self) -> float:
@@ -158,6 +189,12 @@ class Environment:
         Raises :class:`~repro.errors.EmptySchedule` when the queue is empty
         and re-raises the value of any failed event nobody defused.
         """
+        tracker = _current_tracker()
+        if tracker is not None or self._tie_rng is not None:
+            if tracker is not None:
+                tracker.attach(self)
+            self._dispatch_slow(tracker)
+            return
         heap = self._heap
         if self._urgent:
             if heap and heap[0][0] == self._now and heap[0][1] <= URGENT:
@@ -184,6 +221,78 @@ class Environment:
 
         if not event._ok and not event._defused:
             # Unhandled failure: crash the simulation loudly.
+            exc = event._value
+            assert isinstance(exc, BaseException)
+            raise exc
+        if event._pooled:
+            self._timeout_pool.append(event)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _pop_lane(lane: "deque[Event]", rng: Optional[Any]) -> Event:
+        """Pop the next lane entry — the oldest, or a random one when
+        tie shuffling is on (any lane entry is legal; see
+        :meth:`set_tie_shuffle`)."""
+        if rng is not None and len(lane) > 1:
+            i = rng.randrange(len(lane))
+            event = lane[i]
+            del lane[i]
+            return event
+        return lane.popleft()
+
+    def _dispatch_slow(self, tracker: Any) -> None:
+        """Process one event on the instrumented path.
+
+        Selection is identical to :meth:`step` (same invariant), with
+        two opt-in extras the fast loop never pays for: per-occurrence
+        epoch/parenthood bookkeeping for the race ``tracker``, and the
+        tie-shuffling RNG.  Parenthood needs no hooks at the schedule
+        sites — anything appended to a lane or pushed to the heap while
+        this event's callbacks run was scheduled by this event.
+        """
+        heap = self._heap
+        rng = self._tie_rng
+        if self._urgent:
+            if heap and heap[0][0] == self._now and heap[0][1] <= URGENT:
+                entry = heapq.heappop(heap)
+                event, priority = entry[3], entry[1]
+            else:
+                event, priority = self._pop_lane(self._urgent, rng), URGENT
+        elif self._normal:
+            if heap and heap[0][0] == self._now and heap[0][1] <= NORMAL:
+                entry = heapq.heappop(heap)
+                event, priority = entry[3], entry[1]
+            else:
+                event, priority = self._pop_lane(self._normal, rng), NORMAL
+        elif heap:
+            entry = heapq.heappop(heap)
+            self._now = entry[0]
+            event, priority = entry[3], entry[1]
+        else:
+            raise EmptySchedule("no more events scheduled")
+
+        self.events_processed += 1
+        if tracker is not None:
+            tracker.begin(self._now, priority, event)
+            u0 = len(self._urgent)
+            n0 = len(self._normal)
+            eid0 = self._eid
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+        if tracker is not None:
+            urgent, normal = self._urgent, self._normal
+            for i in range(u0, len(urgent)):
+                tracker.adopt(urgent[i])
+            for i in range(n0, len(normal)):
+                tracker.adopt(normal[i])
+            if self._eid != eid0:
+                for he in heap:
+                    if he[2] > eid0:
+                        tracker.adopt(he[3])
+            tracker.end()
+
+        if not event._ok and not event._defused:
             exc = event._value
             assert isinstance(exc, BaseException)
             raise exc
@@ -218,6 +327,13 @@ class Environment:
                 # NORMAL priority: same-time events scheduled earlier still run.
                 self.schedule(stop_event, delay=at - self._now)
                 stop_event.callbacks.append(self._stop_callback)
+
+        # Instrumented modes (race tracking, tie shuffling) run a
+        # separate loop so the fast path below stays untouched when
+        # they are off — the one check here is the entire off-cost.
+        tracker = _current_tracker()
+        if tracker is not None or self._tie_rng is not None:
+            return self._run_slow(stop_event, tracker)
 
         # The dispatch loop is step() with its body inlined (one function
         # call per event is ~10% of kernel floor) and hot names bound
@@ -259,6 +375,22 @@ class Environment:
                     raise exc
                 if event._pooled:
                     pool.append(event)  # type: ignore[arg-type]
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if stop_event is not None and stop_event._value is PENDING:
+                raise RuntimeError(
+                    "simulation ended before the awaited event was triggered"
+                ) from None
+            return None
+
+    def _run_slow(self, stop_event: Optional[Event], tracker: Any) -> object:
+        """The instrumented twin of :meth:`run`'s dispatch loop."""
+        if tracker is not None:
+            tracker.attach(self)
+        try:
+            while True:
+                self._dispatch_slow(tracker)
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:

@@ -1,0 +1,52 @@
+"""Clean twin of ``fx_race_violation``: every mutating method of the
+marked class records its access, the unmarked class is reached by only
+one process root, and the decorated-def pragma binds correctly.
+
+The ``@traced`` method pins the historical decorator-pragma bug
+(satellite 3): the suppression sits on the decorator line while the
+finding is reported at the ``def`` line below it — the framework must
+alias the pragma down to the definition.
+"""
+
+
+def traced(fn):
+    return fn
+
+
+class Ledger:
+    __race_shared__ = True
+
+    def __init__(self) -> None:
+        self.entries = {}
+        self._race = None
+
+    def credit(self, key, amount):
+        if self._race is not None:
+            self._race.write(self, ("entries", key))
+        self.entries[key] = amount
+
+    # Pass-boundary reset; nothing else runs when it fires.
+    @traced  # repro-lint: disable=RPL601
+    def reset(self):
+        self.entries.clear()
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+class Owner:
+    def __init__(self, env) -> None:
+        self.counter = Counter()
+        self.env = env
+
+    def _loop(self):
+        self.counter.bump()
+        yield
+
+    def start(self):
+        self.env.process(self._loop())

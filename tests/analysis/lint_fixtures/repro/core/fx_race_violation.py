@@ -1,0 +1,48 @@
+"""RPL601/RPL602 fixture: shared mutable state the sanitizer cannot see.
+
+``Ledger`` is marked ``__race_shared__`` but ``credit`` mutates without
+recording the access (RPL601).  ``Counter`` is unmarked yet its ``bump``
+is reachable from two distinct simulation-process roots (RPL602).
+"""
+
+
+class Ledger:
+    __race_shared__ = True
+
+    def __init__(self) -> None:
+        self.entries = {}
+        self._race = None
+
+    def credit(self, key, amount):
+        self.entries[key] = amount
+
+    def settle(self, key):
+        if self._race is not None:
+            self._race.write(self, ("entries", key))
+        self.entries.pop(key, None)
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+class Owner:
+    def __init__(self, env) -> None:
+        self.counter = Counter()
+        self.env = env
+
+    def _loop_a(self):
+        self.counter.bump()
+        yield
+
+    def _loop_b(self):
+        self.counter.bump()
+        yield
+
+    def start(self):
+        self.env.process(self._loop_a())
+        self.env.process(self._loop_b())

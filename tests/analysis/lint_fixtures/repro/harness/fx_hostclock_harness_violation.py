@@ -1,0 +1,12 @@
+"""RPL102 fixture: a harness module *off* the audited allowlist reading
+host clocks — inside repro.harness, so RPL101 stays silent, but the
+module is not in HARNESS_HOSTCLOCK_ALLOWLIST."""
+
+import time
+from datetime import datetime
+
+
+def sneak_a_timestamp():
+    stamp = time.time()
+    label = datetime.now()
+    return stamp, label

@@ -1,0 +1,11 @@
+"""RPL101/RPL102 scope twin: identical host-clock reads are legal in an
+*allowlisted* harness module — this fixture's derived module name,
+``repro.harness.wallclock``, sits on HARNESS_HOSTCLOCK_ALLOWLIST."""
+
+import time
+
+
+def wall_clock_of(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

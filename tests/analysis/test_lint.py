@@ -39,13 +39,20 @@ VIOLATION_FIXTURES = {
     "runtime/fx_float_violation.py": [
         ("RPL501", 9), ("RPL501", 15),
     ],
+    "harness/fx_hostclock_harness_violation.py": [
+        ("RPL102", 10), ("RPL102", 11),
+    ],
+    "core/fx_race_violation.py": [
+        ("RPL601", 16), ("RPL602", 25),
+    ],
 }
 
 CLEAN_FIXTURES = [
     "sim/fx_hostclock_clean.py",
-    "harness/fx_hostclock_harness_ok.py",
+    "harness/wallclock.py",
     "core/fx_random_clean.py",
     "core/fx_setiter_clean.py",
+    "core/fx_race_clean.py",
     "obs/fx_contract_clean.py",
     "runtime/fx_frozen_clean.py",
     "runtime/fx_float_clean.py",
@@ -101,9 +108,10 @@ def test_every_code_has_exactly_one_checker():
             assert name and hint
             seen[code] = name
     assert sorted(seen) == [
-        "RPL101", "RPL201", "RPL202", "RPL301", "RPL302", "RPL401", "RPL501",
+        "RPL101", "RPL102", "RPL201", "RPL202", "RPL301", "RPL302",
+        "RPL401", "RPL501", "RPL601", "RPL602",
     ]
-    assert len(ALL_CHECKERS) == 7
+    assert len(ALL_CHECKERS) == 8
 
 
 def test_line_pragma_suppresses_exactly_that_code(tmp_path):
@@ -175,8 +183,8 @@ def test_cli_usage_errors_and_catalogue(capsys):
     capsys.readouterr()
     assert main(["--list-codes"]) == 0
     out = capsys.readouterr().out
-    for code in ("RPL101", "RPL201", "RPL202", "RPL301", "RPL302",
-                 "RPL401", "RPL501"):
+    for code in ("RPL101", "RPL102", "RPL201", "RPL202", "RPL301",
+                 "RPL302", "RPL401", "RPL501", "RPL601", "RPL602"):
         assert code in out
 
 

@@ -1,0 +1,323 @@
+"""Unit tests for the schedule-race sanitizer (``repro.analysis.race``).
+
+Covers the tracker's conflict lattice (unordered same-epoch W/W fires;
+descendants, read/read pairs, and program order do not), the pragma
+audit trail, report determinism, the session seam, and the suite/CLI
+plumbing — including the pin that :data:`repro.analysis.race.suite
+.GOLDEN` mirrors the golden-equivalence fixture byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.race import RaceTracker, access, session
+from repro.analysis.race.report import (
+    Conflict,
+    Endpoint,
+    RaceReport,
+    load_audits,
+)
+from repro.analysis.race.suite import GOLDEN, SCENARIO_RUNS, suite_names
+from repro.sim.engine import Environment
+
+GOLDEN_JSON = (
+    Path(__file__).parent.parent
+    / "integration"
+    / "golden_runtime_equivalence.json"
+)
+
+
+class SharedCell:
+    """Minimal instrumented object following the snapshot idiom."""
+
+    def __init__(self) -> None:
+        self._race = access.TRACKER
+        self.value = 0
+
+    def bump(self) -> None:
+        if self._race is not None:
+            self._race.write(self, "value")
+        self.value += 1
+
+    def peek(self) -> int:
+        if self._race is not None:
+            self._race.read(self, "value")
+        return self.value
+
+
+def _run(build):
+    """Install a fresh tracker, build+run the sim inside the session."""
+    tracker = RaceTracker()
+    with session(tracker):
+        env = Environment()
+        build(env)
+        env.run()
+    return tracker.finish(), tracker
+
+
+def test_unordered_same_epoch_writes_conflict():
+    def build(env):
+        cell = SharedCell()
+
+        def writer():
+            yield env.timeout(1)
+            cell.bump()
+
+        env.process(writer())
+        env.process(writer())
+
+    report, tracker = _run(build)
+    assert len(report.conflicts) == 1
+    c = report.conflicts[0]
+    assert (c.a.kind, c.b.kind) == ("write", "write")
+    assert c.obj.startswith("SharedCell#")
+    assert c.field == "value"
+    assert c.time == 1.0
+    assert tracker.accesses == 2
+
+
+def test_read_write_pair_conflicts_but_read_read_does_not():
+    def build_rw(env):
+        cell = SharedCell()
+
+        def writer():
+            yield env.timeout(1)
+            cell.bump()
+
+        def reader():
+            yield env.timeout(1)
+            cell.peek()
+
+        env.process(writer())
+        env.process(reader())
+
+    report, _ = _run(build_rw)
+    assert {report.conflicts[0].a.kind, report.conflicts[0].b.kind} == {
+        "read", "write"
+    }
+
+    def build_rr(env):
+        cell = SharedCell()
+
+        def reader():
+            yield env.timeout(1)
+            cell.peek()
+
+        env.process(reader())
+        env.process(reader())
+
+    report, _ = _run(build_rr)
+    assert report.conflicts == []
+
+
+def test_scheduling_descendants_are_ordered():
+    """A write by a process spawned *during* the first write's event is
+    causally after it — no conflict even within one epoch."""
+
+    def build(env):
+        cell = SharedCell()
+
+        def child():
+            cell.bump()
+            return
+            yield
+
+        def parent():
+            yield env.timeout(1)
+            cell.bump()
+            env.process(child())
+
+        env.process(parent())
+
+    report, _ = _run(build)
+    assert report.conflicts == []
+
+
+def test_same_resumed_process_is_program_order():
+    """Two accesses made by one resumed process in different events of
+    the same epoch are sequenced by the process itself."""
+
+    def build(env):
+        cell = SharedCell()
+
+        def looper():
+            yield env.timeout(1)
+            cell.bump()
+            yield env.timeout(0)
+            cell.bump()
+
+        env.process(looper())
+
+    report, _ = _run(build)
+    assert report.conflicts == []
+
+
+def test_accesses_outside_dispatch_are_ignored():
+    tracker = RaceTracker()
+    with session(tracker):
+        cell = SharedCell()
+        cell.bump()  # setup code, no event executing
+    assert tracker.accesses == 0
+    assert tracker.finish().conflicts == []
+
+
+def test_duplicate_conflicts_collapse_by_shape():
+    def build(env):
+        cell = SharedCell()
+
+        def writer():
+            for _ in range(3):
+                yield env.timeout(1)
+                cell.bump()
+
+        env.process(writer())
+        env.process(writer())
+
+    report, _ = _run(build)
+    assert len(report.conflicts) == 1
+    assert report.conflicts[0].count == 3
+
+
+def test_session_install_is_exclusive_and_restores():
+    tracker = RaceTracker()
+    with session(tracker):
+        assert access.installed() is tracker
+        with pytest.raises(RuntimeError):
+            access.install(RaceTracker())
+    assert access.installed() is None
+
+
+def test_instrumentation_off_objects_carry_no_tracker():
+    assert access.TRACKER is None
+    assert SharedCell()._race is None
+
+
+# -- pragma audit trail ------------------------------------------------------
+
+
+def _conflict_at(path: str, line: int) -> Conflict:
+    ep = Endpoint(
+        kind="write",
+        event="Process(x)",
+        process="x",
+        stack=((path, line, "mutate"),),
+    )
+    return Conflict(obj="T#0", field="f", time=1.0, priority=2, a=ep, b=ep)
+
+
+def test_pragma_audits_conflicts_in_its_scope(tmp_path):
+    src = tmp_path / "mod.py"
+    src.write_text(
+        "def mutate(state):\n"
+        "    # repro-race: ordered -- increments commute\n"
+        "    state.n += 1\n"
+        "\n"
+        "def other(state):\n"
+        "    state.n += 1\n"
+    )
+    report = RaceReport(
+        conflicts=[_conflict_at(str(src), 3), _conflict_at(str(src), 6)]
+    )
+    report.audit()
+    audited = [c for c in report.conflicts if c.audited]
+    assert len(audited) == 1
+    assert "increments commute" in audited[0].audited
+    assert report.exit_code == 1  # the other conflict stays unaudited
+    assert len(report.unaudited) == 1
+
+
+def test_bare_pragma_is_an_error(tmp_path):
+    src = tmp_path / "mod.py"
+    src.write_text(
+        "def mutate(state):\n"
+        "    # repro-race: ordered\n"
+        "    state.n += 1\n"
+    )
+    audits, errors = load_audits(str(src))
+    assert audits == []
+    assert [e.line for e in errors] == [2]
+
+    report = RaceReport(conflicts=[_conflict_at(str(src), 3)])
+    report.audit()
+    assert report.pragma_errors
+    assert report.exit_code == 1
+
+
+def test_pragma_binds_to_innermost_scope_decorators_included(tmp_path):
+    src = tmp_path / "mod.py"
+    src.write_text(
+        "class T:\n"
+        "    @staticmethod\n"
+        "    # repro-race: ordered -- whole method is commutative\n"
+        "    def mutate(state):\n"
+        "        state.n += 1\n"
+        "\n"
+        "    def other(state):\n"
+        "        state.n += 1\n"
+    )
+    audits, errors = load_audits(str(src))
+    assert errors == []
+    (span,) = audits
+    assert span.scope == "mutate"
+    assert span.start == 2  # decorator line opens the span
+    report = RaceReport(
+        conflicts=[_conflict_at(str(src), 5), _conflict_at(str(src), 8)]
+    )
+    report.audit()
+    assert [bool(c.audited) for c in report.conflicts] == [True, False]
+
+
+def test_report_json_is_deterministic():
+    conflicts = [_conflict_at("/x/repro/a.py", 3), _conflict_at("/x/repro/b.py", 4)]
+    r1 = RaceReport(conflicts=list(conflicts))
+    r2 = RaceReport(conflicts=list(reversed(conflicts)))
+    r1.audit()
+    r2.audit()
+    j1 = json.dumps(r1.to_json(), sort_keys=True)
+    j2 = json.dumps(r2.to_json(), sort_keys=True)
+    assert j1 == j2
+    assert "repro/a.py" in j1  # paths render repo-relative
+
+
+# -- suite + CLI -------------------------------------------------------------
+
+
+def test_suite_mirrors_the_golden_equivalence_fixture():
+    pinned = json.loads(GOLDEN_JSON.read_text())
+    assert GOLDEN["db"] == pinned["db"]
+    assert GOLDEN["base"] == pinned["base"]
+    assert GOLDEN["specs"] == pinned["specs"]
+
+
+def test_suite_names_are_goldens_plus_scenarios():
+    names = suite_names()
+    assert names == sorted(GOLDEN["specs"]) + list(SCENARIO_RUNS)
+    assert "churning" in names and "node-failure" in names
+    assert len(names) == 14
+
+
+def test_cli_list_and_usage_errors(capsys):
+    from repro.analysis.race.cli import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in suite_names():
+        assert name in out
+    assert main(["--run", "no-such-run"]) == 2
+
+
+def test_cli_sanitizes_one_golden_clean(tmp_path, capsys):
+    from repro.analysis.race.cli import main
+
+    out = tmp_path / "repro-race.json"
+    code = main(["--quiet", "--run", "hpa-none", "--output", str(out)])
+    capsys.readouterr()
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["tool"] == "repro-race"
+    assert payload["n_unaudited"] == 0
+    assert payload["runs"]["hpa-none"]["events"] > 0

@@ -1,0 +1,107 @@
+"""Schedule-perturbation fuzzing: mined results must not depend on the
+order of same-``(time, priority)`` events.
+
+:meth:`repro.sim.engine.Environment.set_tie_shuffle` makes the dispatch
+loop pop a *random* entry from the due lane instead of the oldest one.
+Every such order is a legal schedule, so if two runs of the same config
+disagree under different shuffle seeds, the model has a schedule race —
+exactly what the ``repro-race`` sanitizer hunts dynamically.  The
+oracle is the itemset digest only: the mined ``large_itemsets`` are the
+result the paper's tables are built from, while per-pass timing fields
+legitimately shift with tie order (a message delivered first warms a
+different queue).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from functools import lru_cache
+from unittest import mock
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import generate
+from repro.mining.hpa import HPAConfig, HPARun
+from repro.mining.npa import NPAConfig, NPARun
+from repro.runtime import builder
+from repro.sim.engine import Environment
+
+
+def _shuffled_environment(seed: int) -> type:
+    class ShuffledEnvironment(Environment):
+        def __init__(self) -> None:
+            super().__init__()
+            self.set_tie_shuffle(random.Random(seed))
+
+    return ShuffledEnvironment
+
+
+def _digest(result) -> str:
+    canon = sorted((list(k), v) for k, v in result.large_itemsets.items())
+    return hashlib.sha256(json.dumps(canon).encode()).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def _db():
+    return generate("T5.I2.D80", n_items=40, seed=11)
+
+
+def _run_hpa(env_cls=None) -> str:
+    config = HPAConfig(
+        minsup=0.05,
+        n_app_nodes=2,
+        total_lines=64,
+        seed=1,
+        pager="remote",
+        n_memory_nodes=2,
+        memory_limit_bytes=4096,
+    )
+    patch = (
+        mock.patch.object(builder, "Environment", env_cls)
+        if env_cls is not None
+        else mock.patch.object(builder, "Environment", Environment)
+    )
+    with patch:
+        return _digest(HPARun(_db(), config).run())
+
+
+def _run_npa(env_cls=None) -> str:
+    config = NPAConfig(
+        minsup=0.05,
+        n_app_nodes=2,
+        total_lines=64,
+        seed=1,
+        max_k=2,
+        pager="remote",
+        n_memory_nodes=2,
+        memory_limit_bytes=4096,
+    )
+    patch = (
+        mock.patch.object(builder, "Environment", env_cls)
+        if env_cls is not None
+        else mock.patch.object(builder, "Environment", Environment)
+    )
+    with patch:
+        return _digest(NPARun(_db(), config).run())
+
+
+@lru_cache(maxsize=1)
+def _baselines() -> "tuple[str, str]":
+    return _run_hpa(), _run_npa()
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_hpa_itemsets_invariant_under_tie_shuffle(seed: int) -> None:
+    hpa_base, _ = _baselines()
+    assert _run_hpa(_shuffled_environment(seed)) == hpa_base
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_npa_itemsets_invariant_under_tie_shuffle(seed: int) -> None:
+    _, npa_base = _baselines()
+    assert _run_npa(_shuffled_environment(seed)) == npa_base
